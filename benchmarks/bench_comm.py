@@ -1,0 +1,88 @@
+"""Communication-substrate microbenchmarks.
+
+Latency/throughput of the threaded SPMD substrate's primitives — the
+floor under every distributed number in this repository.  Useful when
+porting the runtime to a real MPI backend: the same benches run there
+and the deltas localize regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimCluster, spmd_launch
+
+
+@pytest.mark.parametrize("ranks", [2, 4, 8])
+def test_bench_barrier(benchmark, ranks):
+    def round_of_barriers():
+        def body(comm):
+            for _ in range(10):
+                comm.barrier()
+
+        spmd_launch(ranks, body, timeout=30)
+
+    benchmark.pedantic(round_of_barriers, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("ranks", [2, 4])
+def test_bench_allreduce_scalar(benchmark, ranks):
+    def round_of_allreduce():
+        def body(comm):
+            acc = 0
+            for _ in range(10):
+                acc = comm.allreduce(comm.rank)
+            return acc
+
+        spmd_launch(ranks, body, timeout=30)
+
+    benchmark.pedantic(round_of_allreduce, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("kib", [1, 64, 1024])
+def test_bench_pt2pt_payload(benchmark, kib):
+    payload = np.zeros(kib * 1024 // 8)
+
+    def ping_pong():
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1, tag=1)
+                return comm.recv(source=1, tag=2).nbytes
+            got = comm.recv(source=0, tag=1)
+            comm.send(got, dest=0, tag=2)
+            return got.nbytes
+
+        spmd_launch(2, body, timeout=30)
+
+    benchmark.pedantic(ping_pong, rounds=3, iterations=1)
+
+
+def test_bench_bcast_numpy(benchmark):
+    payload = np.zeros(128 * 1024 // 8)
+
+    def round_of_bcast():
+        def body(comm):
+            for _ in range(5):
+                comm.bcast(payload if comm.is_master else None)
+
+        spmd_launch(4, body, timeout=30)
+
+    benchmark.pedantic(round_of_bcast, rounds=3, iterations=1)
+
+
+def test_bench_cluster_spinup(benchmark):
+    """Fixed cost of standing up a rank team (thread spawn + teardown)."""
+    benchmark.pedantic(
+        lambda: spmd_launch(4, lambda c: c.rank, timeout=30),
+        rounds=5, iterations=1,
+    )
+
+
+def test_bench_dup_context(benchmark):
+    def dup_round():
+        def body(comm):
+            d = comm.dup()
+            return d.allreduce(1)
+
+        spmd_launch(4, body, timeout=30)
+
+    benchmark.pedantic(dup_round, rounds=3, iterations=1)

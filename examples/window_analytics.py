@@ -1,0 +1,74 @@
+"""Window-based analytics with early emission (paper Section 4, Listing 5).
+
+Smooths a noisy Heat3D temperature trace with all four window
+applications (moving average, moving median, Gaussian kernel,
+Savitzky-Golay) and demonstrates the early-emission optimization: with
+the trigger, the runtime holds O(window) reduction objects instead of one
+per input element.
+
+Run:  python examples/window_analytics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics import (
+    GaussianKernelSmoother,
+    MovingAverage,
+    MovingMedian,
+    SavitzkyGolay,
+)
+from repro.core import SchedArgs
+from repro.sim import Heat3D
+
+WIN = 11
+
+
+def noisy_trace(n_steps: int = 6) -> np.ndarray:
+    """A single grid line of an evolving Heat3D field plus sensor noise."""
+    sim = Heat3D((16, 16, 16))
+    for _ in range(n_steps):
+        sim.advance()
+    line = sim.interior[:, 8, :].reshape(-1)  # one y-plane as a 1-D signal
+    rng = np.random.default_rng(0)
+    return line + rng.normal(scale=2.0, size=line.shape)
+
+
+def main() -> None:
+    signal = noisy_trace()
+    n = signal.shape[0]
+    print(f"smoothing a {n}-element Heat3D trace, window size {WIN}\n")
+
+    apps = {
+        "moving average": MovingAverage(SchedArgs(), win_size=WIN),
+        "moving median": MovingMedian(SchedArgs(), win_size=WIN),
+        "Gaussian kernel": GaussianKernelSmoother(SchedArgs(), win_size=WIN),
+        "Savitzky-Golay": SavitzkyGolay(SchedArgs(), win_size=WIN, polyorder=2),
+    }
+
+    print(f"{'application':18s} {'residual std':>12s} {'peak objects':>13s} "
+          f"{'early emissions':>16s}")
+    for name, app in apps.items():
+        out = np.full(n, np.nan)
+        app.run2(signal, out)
+        residual = np.std(signal - out)
+        print(f"{name:18s} {residual:12.3f} {app.stats.peak_red_objects:13d} "
+              f"{app.stats.early_emissions:16d}")
+
+    # The comparison the paper's Fig. 11 makes: disable the trigger and
+    # watch the live reduction-object count jump from O(W) to O(N).
+    no_trigger = MovingAverage(
+        SchedArgs(disable_early_emission=True), win_size=WIN
+    )
+    out = np.full(n, np.nan)
+    no_trigger.run2(signal, out)
+    with_trigger = apps["moving average"].stats.peak_red_objects
+    print(f"\nearly emission effect (moving average): "
+          f"{no_trigger.stats.peak_red_objects} live objects without the "
+          f"trigger vs {with_trigger} with it "
+          f"({no_trigger.stats.peak_red_objects / with_trigger:.0f}x reduction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Smart: a MapReduce-like framework for in-situ scientific analytics.
+
+Python reproduction of Wang, Agrawal, Bicer & Jiang (SC 2015 / OSU TR
+#OSU-CISRC-4/15-TR05).  Subpackages:
+
+* :mod:`repro.core` — the Smart runtime (scheduler, reduction objects,
+  time/space sharing, early emission, pipelines).
+* :mod:`repro.comm` — the message-passing substrate (MPI stand-in).
+* :mod:`repro.sim` — Heat3D, a LULESH-like proxy, and the emulator.
+* :mod:`repro.analytics` — the paper's nine analytics applications.
+* :mod:`repro.baselines` — mini-Spark, hand-written low-level analytics,
+  and the offline (store-first-analyze-after) driver.
+* :mod:`repro.perfmodel` — calibrated cluster performance model.
+* :mod:`repro.harness` — per-figure experiment runners
+  (``python -m repro.harness fig7``).
+"""
+
+__version__ = "1.0.0"
+
+from . import analytics, baselines, comm, core, sim  # noqa: F401
+
+__all__ = ["analytics", "baselines", "comm", "core", "sim", "__version__"]

@@ -1,0 +1,173 @@
+"""K-means clustering (paper Listing 4; clustering analytics class).
+
+The canonical iterative Smart application: the combination map holds one
+:class:`~repro.analytics.objects.ClusterObj` per centroid; ``gen_key``
+assigns each point to its nearest centroid; ``post_combine`` recomputes
+centroids (Lloyd iteration) once per Smart iteration.  Initial centroids
+arrive via ``SchedArgs.extra_data`` (a ``k × dims`` array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.interface import Communicator
+from ..core.chunk import Chunk
+from ..core.maps import KeyedMap
+from ..core.red_obj import RedObj
+from ..core.sched_args import SchedArgs
+from ..core.scheduler import Scheduler
+from .objects import ClusterObj
+
+
+class KMeans(Scheduler):
+    """Lloyd's k-means over ``dims``-dimensional points.
+
+    Data layout: flat float64, ``chunk_size = dims`` (one point per unit
+    chunk).  ``num_iters`` in :class:`SchedArgs` is the Lloyd iteration
+    count (paper uses 10).
+    """
+
+    seed_reduction_maps = True
+
+    def __init__(
+        self,
+        args: SchedArgs,
+        comm: Communicator | None = None,
+        *,
+        dims: int,
+        tolerance: float | None = None,
+    ):
+        if args.chunk_size != dims:
+            raise ValueError(
+                f"one point per chunk: chunk_size must equal dims ({dims}), "
+                f"got {args.chunk_size}"
+            )
+        super().__init__(args, comm)
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        if tolerance is not None and tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.dims = int(dims)
+        #: Optional convergence tolerance: iteration stops early once no
+        #: centroid moves more than this (infinity-norm), before
+        #: ``num_iters`` is exhausted.
+        self.tolerance = tolerance
+        #: Max centroid displacement of the most recent Lloyd iteration.
+        self.last_shift = np.inf
+
+    # -- user API ------------------------------------------------------------
+    def process_extra_data(self, extra_data, combination_map: KeyedMap) -> None:
+        if len(combination_map):
+            return  # keep tracking centroids across time-steps
+        if extra_data is None:
+            raise ValueError("KMeans requires initial centroids as extra_data")
+        centroids = np.asarray(extra_data, dtype=np.float64)
+        if centroids.ndim != 2 or centroids.shape[1] != self.dims:
+            raise ValueError(
+                f"initial centroids must be (k, {self.dims}), got {centroids.shape}"
+            )
+        for key, centroid in enumerate(centroids):
+            combination_map[key] = ClusterObj(centroid)
+
+    def _centroid_matrix(self, com_map: KeyedMap) -> tuple[np.ndarray, list[int]]:
+        keys = sorted(com_map.keys())
+        return np.stack([com_map[k].centroid for k in keys]), keys
+
+    def gen_key(self, chunk: Chunk, data: np.ndarray, combination_map: KeyedMap) -> int:
+        point = data[chunk.start : chunk.start + self.dims]
+        best_key, best_dist = -1, np.inf
+        for key, obj in combination_map.items():
+            diff = obj.centroid - point
+            dist = float(diff @ diff)
+            if dist < best_dist or (dist == best_dist and key < best_key):
+                best_key, best_dist = key, dist
+        if best_key < 0:
+            raise RuntimeError("gen_key called with an empty combination map")
+        return best_key
+
+    def accumulate(
+        self, chunk: Chunk, data: np.ndarray, red_obj: RedObj | None, key: int
+    ) -> RedObj:
+        assert red_obj is not None, "seeded reduction maps guarantee the object"
+        red_obj.vec_sum += data[chunk.start : chunk.start + self.dims]
+        red_obj.size += 1
+        return red_obj
+
+    def merge(self, red_obj: RedObj, com_obj: RedObj) -> RedObj:
+        com_obj.vec_sum += red_obj.vec_sum
+        com_obj.size += red_obj.size
+        return com_obj
+
+    def post_combine(self, combination_map: KeyedMap) -> None:
+        shift = 0.0
+        for _, obj in combination_map.items():
+            before = obj.centroid.copy()
+            obj.update()
+            move = float(np.max(np.abs(obj.centroid - before)))
+            if move > shift:
+                shift = move
+        self.last_shift = shift
+
+    def converged(self, combination_map: KeyedMap, iteration: int) -> bool:
+        return self.tolerance is not None and self.last_shift <= self.tolerance
+
+    def convert(self, red_obj: RedObj, out: np.ndarray, key: int) -> None:
+        out[key] = red_obj.centroid
+
+    def vector_reduce(
+        self, data: np.ndarray, start: int, stop: int, red_map: KeyedMap
+    ) -> None:
+        points = data[start:stop].reshape(-1, self.dims)
+        centroids, keys = self._centroid_matrix(red_map)
+        # Squared distances via the expansion trick; argmin ties resolve to
+        # the lowest index, matching gen_key's tie-break on sorted keys.
+        d2 = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        assign = np.argmin(d2, axis=1)
+        for idx, key in enumerate(keys):
+            members = points[assign == idx]
+            if members.shape[0]:
+                obj = red_map[key]
+                obj.vec_sum += members.sum(axis=0)
+                obj.size += members.shape[0]
+
+    # -- result ----------------------------------------------------------------
+    def centroids(self) -> np.ndarray:
+        matrix, _ = self._centroid_matrix(self.combination_map_)
+        return matrix
+
+
+def make_blobs(
+    n: int, dims: int, k: int, spread: float = 0.3, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic clustered points; returns ``(flat_data, true_centers)``."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-5.0, 5.0, size=(k, dims))
+    labels = rng.integers(0, k, size=n)
+    points = centers[labels] + rng.normal(scale=spread, size=(n, dims))
+    return points.reshape(-1), centers
+
+
+def reference_kmeans(
+    flat_data: np.ndarray, init_centroids: np.ndarray, num_iters: int
+) -> np.ndarray:
+    """Ground-truth Lloyd iterations (pure numpy, empty clusters frozen)."""
+    dims = init_centroids.shape[1]
+    points = np.asarray(flat_data, dtype=np.float64).reshape(-1, dims)
+    centroids = np.asarray(init_centroids, dtype=np.float64).copy()
+    for _ in range(num_iters):
+        d2 = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        assign = np.argmin(d2, axis=1)
+        for c in range(centroids.shape[0]):
+            members = points[assign == c]
+            if members.shape[0]:
+                centroids[c] = members.mean(axis=0)
+    return centroids

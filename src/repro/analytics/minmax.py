@@ -1,0 +1,71 @@
+"""Global min/max — the 'earlier Smart analytics job' of paper Listing 3.
+
+The histogram example assumes the value range "can be taken as a priori
+knowledge or be retrieved by an earlier Smart analytics job"; this is
+that job.  A single reduction object (key 0) tracks the running minimum
+and maximum, demonstrating the degenerate-key case and serving as the
+first stage of the range→histogram pipeline example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.chunk import Chunk
+from ..core.maps import KeyedMap
+from ..core.red_obj import RedObj
+from ..core.scheduler import Scheduler
+
+
+class MinMaxObj(RedObj):
+    """Running (min, max) over all accumulated elements."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self):
+        self.lo = np.inf
+        self.hi = -np.inf
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MinMaxObj(lo={self.lo}, hi={self.hi})"
+
+
+class MinMax(Scheduler):
+    """Global value range of the input (single key 0; ``chunk_size=1``)."""
+
+    def accumulate(
+        self, chunk: Chunk, data: np.ndarray, red_obj: RedObj | None, key: int
+    ) -> RedObj:
+        if red_obj is None:
+            red_obj = MinMaxObj()
+        value = float(data[chunk.start])
+        if value < red_obj.lo:
+            red_obj.lo = value
+        if value > red_obj.hi:
+            red_obj.hi = value
+        return red_obj
+
+    def merge(self, red_obj: RedObj, com_obj: RedObj) -> RedObj:
+        com_obj.lo = min(com_obj.lo, red_obj.lo)
+        com_obj.hi = max(com_obj.hi, red_obj.hi)
+        return com_obj
+
+    def convert(self, red_obj: RedObj, out: np.ndarray, key: int) -> None:
+        out[0] = red_obj.lo
+        out[1] = red_obj.hi
+
+    def vector_reduce(
+        self, data: np.ndarray, start: int, stop: int, red_map: KeyedMap
+    ) -> None:
+        block = data[start:stop]
+        obj = red_map.get(0)
+        if obj is None:
+            obj = MinMaxObj()
+            red_map[0] = obj
+        obj.lo = min(obj.lo, float(block.min()))
+        obj.hi = max(obj.hi, float(block.max()))
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        obj = self.combination_map_[0]
+        return obj.lo, obj.hi

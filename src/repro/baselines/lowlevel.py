@@ -1,0 +1,135 @@
+"""Hand-written low-level analytics (the Fig. 6 baseline).
+
+These are the programs "manually implemented in OpenMP and MPI" of paper
+Section 5.3: the analytics kernel is written directly against numpy (the
+OpenMP-parallel inner loop) and global synchronization is a single
+``Allreduce`` on one contiguous array — no reduction maps, no per-object
+serialization.  The paper measures Smart's overhead (map bookkeeping +
+noncontiguous reduction-object serialization) against exactly this shape.
+
+These functions also anchor the Section 5.3 programmability comparison:
+everything in this file is what a scientist would have to write and debug
+by hand, versus the sequential-only callbacks of the Smart versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.interface import Communicator
+from ..comm.local import LocalComm
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def lowlevel_kmeans(
+    flat_points: np.ndarray,
+    init_centroids: np.ndarray,
+    num_iters: int,
+    comm: Communicator | None = None,
+) -> np.ndarray:
+    """K-means with contiguous-buffer allreduce per Lloyd iteration."""
+    comm = comm if comm is not None else LocalComm()
+    centroids = np.asarray(init_centroids, dtype=np.float64).copy()
+    k, dims = centroids.shape
+    points = np.asarray(flat_points, dtype=np.float64).reshape(-1, dims)
+    # One contiguous buffer carries [sums | sizes], as a hand-written MPI
+    # code would pack it for a single MPI_Allreduce.
+    sendbuf = np.empty(k * dims + k)
+    recvbuf = np.empty_like(sendbuf)
+    for _ in range(num_iters):
+        d2 = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        assign = np.argmin(d2, axis=1)
+        sums = np.zeros((k, dims))
+        sizes = np.zeros(k)
+        for c in range(k):
+            members = points[assign == c]
+            if members.shape[0]:
+                sums[c] = members.sum(axis=0)
+                sizes[c] = members.shape[0]
+        sendbuf[: k * dims] = sums.reshape(-1)
+        sendbuf[k * dims :] = sizes
+        comm.Allreduce(sendbuf, recvbuf)
+        g_sums = recvbuf[: k * dims].reshape(k, dims)
+        g_sizes = recvbuf[k * dims :]
+        nonempty = g_sizes > 0
+        centroids[nonempty] = g_sums[nonempty] / g_sizes[nonempty, None]
+    return centroids
+
+
+def lowlevel_logreg(
+    flat_data: np.ndarray,
+    dims: int,
+    num_iters: int,
+    learning_rate: float = 0.1,
+    comm: Communicator | None = None,
+    init_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batch-GD logistic regression; one contiguous allreduce per iteration."""
+    comm = comm if comm is not None else LocalComm()
+    block = np.asarray(flat_data, dtype=np.float64).reshape(-1, dims + 1)
+    X, y = block[:, :dims], block[:, dims]
+    weights = (
+        np.zeros(dims) if init_weights is None else np.asarray(init_weights, float).copy()
+    )
+    sendbuf = np.empty(dims + 1)  # [grad | count] packed contiguously
+    recvbuf = np.empty_like(sendbuf)
+    for _ in range(num_iters):
+        p = _sigmoid(X @ weights)
+        sendbuf[:dims] = X.T @ (p - y)
+        sendbuf[dims] = X.shape[0]
+        comm.Allreduce(sendbuf, recvbuf)
+        weights -= learning_rate * recvbuf[:dims] / recvbuf[dims]
+    return weights
+
+
+def lowlevel_histogram(
+    data: np.ndarray,
+    lo: float,
+    hi: float,
+    num_buckets: int,
+    comm: Communicator | None = None,
+) -> np.ndarray:
+    """Histogram with a single contiguous count-vector allreduce."""
+    comm = comm if comm is not None else LocalComm()
+    width = (hi - lo) / num_buckets
+    keys = np.floor((np.asarray(data, dtype=np.float64) - lo) / width).astype(np.int64)
+    np.clip(keys, 0, num_buckets - 1, out=keys)
+    local = np.bincount(keys, minlength=num_buckets).astype(np.float64)
+    total = np.empty_like(local)
+    comm.Allreduce(local, total)
+    return total.astype(np.int64)
+
+
+def lowlevel_mutual_information(
+    xy: np.ndarray,
+    x_range: tuple[float, float],
+    y_range: tuple[float, float],
+    bins: int,
+    comm: Communicator | None = None,
+) -> float:
+    """MI from a joint histogram; one contiguous matrix allreduce."""
+    comm = comm if comm is not None else LocalComm()
+    pairs = np.asarray(xy, dtype=np.float64).reshape(-1, 2)
+    ix = np.floor((pairs[:, 0] - x_range[0]) / ((x_range[1] - x_range[0]) / bins))
+    iy = np.floor((pairs[:, 1] - y_range[0]) / ((y_range[1] - y_range[0]) / bins))
+    ix = np.clip(ix.astype(np.int64), 0, bins - 1)
+    iy = np.clip(iy.astype(np.int64), 0, bins - 1)
+    local = np.zeros((bins, bins))
+    np.add.at(local, (ix, iy), 1.0)
+    joint = np.empty_like(local)
+    comm.Allreduce(local, joint)
+    total = joint.sum()
+    p_xy = joint / total
+    p_x = p_xy.sum(axis=1, keepdims=True)
+    p_y = p_xy.sum(axis=0, keepdims=True)
+    mask = p_xy > 0
+    ratio = np.ones_like(p_xy)
+    np.divide(p_xy, p_x * p_y, out=ratio, where=mask)
+    return float(np.sum(p_xy[mask] * np.log(ratio[mask])))

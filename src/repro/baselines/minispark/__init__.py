@@ -1,0 +1,38 @@
+"""Mini-Spark: a miniature Spark-like engine (the Fig. 5 baseline).
+
+Structurally faithful to the three costs the paper measures Spark
+paying: materialized intermediate key-value pairs, a new immutable RDD
+per transformation, and serialization between stages even in local mode.
+"""
+
+from .context import Broadcast, MiniSparkContext
+from .rdd import (
+    FilteredRDD,
+    MappedRDD,
+    ParallelCollectionRDD,
+    PartitionMappedRDD,
+    RDD,
+    ShuffledRDD,
+)
+from .serializer import Serializer
+from .shuffle import ShuffleStats, combine_by_key, shuffle_read, shuffle_write
+from .apps import spark_histogram, spark_kmeans, spark_logistic_regression
+
+__all__ = [
+    "Broadcast",
+    "FilteredRDD",
+    "MappedRDD",
+    "MiniSparkContext",
+    "ParallelCollectionRDD",
+    "PartitionMappedRDD",
+    "RDD",
+    "Serializer",
+    "ShuffleStats",
+    "ShuffledRDD",
+    "combine_by_key",
+    "shuffle_read",
+    "shuffle_write",
+    "spark_histogram",
+    "spark_kmeans",
+    "spark_logistic_regression",
+]

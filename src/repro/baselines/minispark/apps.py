@@ -1,0 +1,105 @@
+"""The paper's three Spark comparison applications, in mini-Spark style.
+
+Each follows the structure of Spark's own example programs (which the
+paper says it used): per-element lambdas emitting Python tuples, a
+shuffle per aggregation, a new RDD per transformation, and driver-side
+collection per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .context import MiniSparkContext
+
+
+def spark_histogram(
+    ctx: MiniSparkContext,
+    data: np.ndarray,
+    lo: float,
+    hi: float,
+    num_buckets: int,
+    num_partitions: int | None = None,
+) -> np.ndarray:
+    """Histogram: ``map(x -> (bucket, 1)).reduceByKey(+).collect()``."""
+    width = (hi - lo) / num_buckets
+
+    def bucket(x: float) -> tuple[int, int]:
+        k = int((x - lo) / width)
+        return (min(max(k, 0), num_buckets - 1), 1)
+
+    rdd = ctx.parallelize(data.tolist(), num_partitions)
+    pairs = rdd.map(bucket).reduceByKey(lambda a, b: a + b)
+    counts = np.zeros(num_buckets, dtype=np.int64)
+    for key, count in pairs.collect():
+        counts[key] = count
+    return counts
+
+
+def spark_kmeans(
+    ctx: MiniSparkContext,
+    flat_points: np.ndarray,
+    init_centroids: np.ndarray,
+    num_iters: int,
+    num_partitions: int | None = None,
+) -> np.ndarray:
+    """K-means: per iteration, broadcast centroids, map each point to
+    ``(closest, (point, 1))``, reduceByKey with vector adds, recompute."""
+    k, dims = init_centroids.shape
+    points = [tuple(p) for p in np.asarray(flat_points).reshape(-1, dims)]
+    rdd = ctx.parallelize(points, num_partitions).cache()
+    centroids = np.asarray(init_centroids, dtype=np.float64).copy()
+
+    for _ in range(num_iters):
+        bc = ctx.broadcast(centroids.tolist())
+
+        def closest(p: tuple, _c=bc) -> tuple[int, tuple[tuple, int]]:
+            cs = _c.value
+            best, best_d = 0, float("inf")
+            for idx, c in enumerate(cs):
+                d = sum((pi - ci) ** 2 for pi, ci in zip(p, c))
+                if d < best_d:
+                    best, best_d = idx, d
+            return (best, (p, 1))
+
+        def add(a: tuple[tuple, int], b: tuple[tuple, int]):
+            return (tuple(x + y for x, y in zip(a[0], b[0])), a[1] + b[1])
+
+        assigned = rdd.map(closest).reduceByKey(add)
+        for key, (vec_sum, size) in assigned.collect():
+            if size > 0:
+                centroids[key] = np.asarray(vec_sum) / size
+    return centroids
+
+
+def spark_logistic_regression(
+    ctx: MiniSparkContext,
+    flat_data: np.ndarray,
+    dims: int,
+    num_iters: int,
+    learning_rate: float = 0.1,
+    num_partitions: int | None = None,
+) -> np.ndarray:
+    """Logistic regression: per iteration, map each sample to its gradient
+    tuple and ``reduce`` them on the driver (Spark's example LR shape)."""
+    rows = [tuple(r) for r in np.asarray(flat_data).reshape(-1, dims + 1)]
+    rdd = ctx.parallelize(rows, num_partitions).cache()
+    weights = np.zeros(dims)
+    n = len(rows)
+
+    for _ in range(num_iters):
+        bc = ctx.broadcast(weights.tolist())
+
+        def gradient(row: tuple, _w=bc) -> tuple:
+            w = _w.value
+            x, y = row[:dims], row[dims]
+            z = sum(wi * xi for wi, xi in zip(w, x))
+            p = 1.0 / (1.0 + np.exp(-z))
+            return tuple((p - y) * xi for xi in x)
+
+        def add(a: tuple, b: tuple) -> tuple:
+            return tuple(x + y for x, y in zip(a, b))
+
+        grad = rdd.map(gradient).reduce(add)
+        weights -= learning_rate * np.asarray(grad) / n
+    return weights

@@ -1,0 +1,234 @@
+"""Immutable RDDs with lineage (the mini-Spark execution model).
+
+Reproduces the three structural costs the paper attributes Spark's
+slowdown to (Section 5.2):
+
+1. every ``map``/``flatMap`` materializes its full key-value output per
+   partition before anything downstream runs (intermediate pairs exist
+   all at once — the mapping-phase memory peak of Section 2.3.3);
+2. every transformation creates a *new* RDD — nothing is updated in
+   place, and shuffle inputs/outputs are fresh materializations;
+3. shuffle buckets are serialized and deserialized even though everything
+   lives in one process ("Spark serializes RDDs and sends them through
+   network even in local mode").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
+
+from .shuffle import ShuffleStats, combine_by_key, shuffle_read, shuffle_write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import MiniSparkContext
+
+
+class RDD:
+    """An immutable, partitioned dataset with recorded lineage."""
+
+    def __init__(self, ctx: "MiniSparkContext", num_partitions: int, name: str):
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.ctx = ctx
+        self.num_partitions = num_partitions
+        self.name = name
+        self._cache: dict[int, list[Any]] | None = None
+        ctx._register_rdd(self)
+
+    # -- to be provided by concrete RDDs ------------------------------------
+    def compute(self, index: int) -> list[Any]:
+        """Materialize partition ``index`` (list semantics, like Spark's
+        iterator fully drained by the next stage)."""
+        raise NotImplementedError
+
+    def dependencies(self) -> list["RDD"]:
+        """Parent RDDs (lineage edges)."""
+        return []
+
+    def prepare_stages(self) -> None:
+        """Run every upstream shuffle stage, driver-side, leaves first.
+
+        Spark's scheduler submits shuffle-map stages before the result
+        stage; doing the same here keeps ``compute`` free of nested pool
+        submissions (which would deadlock a bounded worker pool).
+        """
+        for parent in self.dependencies():
+            parent.prepare_stages()
+
+    # -- caching --------------------------------------------------------------
+    def cache(self) -> "RDD":
+        if self._cache is None:
+            self._cache = {}
+        return self
+
+    def _materialize(self, index: int) -> list[Any]:
+        if self._cache is not None and index in self._cache:
+            return self._cache[index]
+        part = self.compute(index)
+        if self._cache is not None:
+            # Spark caches the serialized-or-deserialized block; we keep the
+            # list but still pay one serialization round-trip, mirroring the
+            # default MEMORY_ONLY_SER-ish accounting used in the audit.
+            self._cache[index] = part
+        self.ctx._observe_partition(len(part))
+        return part
+
+    # -- transformations (lazy) ----------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MappedRDD(self, fn, flat=False, name=f"{self.name}.map")
+
+    def flatMap(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MappedRDD(self, fn, flat=True, name=f"{self.name}.flatMap")
+
+    def filter(self, pred: Callable[[Any], bool]) -> "RDD":
+        return FilteredRDD(self, pred, name=f"{self.name}.filter")
+
+    def mapPartitions(self, fn: Callable[[list[Any]], Iterable[Any]]) -> "RDD":
+        return PartitionMappedRDD(self, fn, name=f"{self.name}.mapPartitions")
+
+    def groupByKey(self, num_partitions: int | None = None) -> "RDD":
+        return ShuffledRDD(self, combiner=None,
+                           num_partitions=num_partitions or self.num_partitions,
+                           name=f"{self.name}.groupByKey")
+
+    def reduceByKey(
+        self, combiner: Callable[[Any, Any], Any], num_partitions: int | None = None
+    ) -> "RDD":
+        return ShuffledRDD(self, combiner=combiner,
+                           num_partitions=num_partitions or self.num_partitions,
+                           name=f"{self.name}.reduceByKey")
+
+    # -- actions ----------------------------------------------------------------
+    def collect(self) -> list[Any]:
+        parts = self.ctx.run_job(self, lambda part: part)
+        out: list[Any] = []
+        for part in parts:
+            out.extend(part)
+        return out
+
+    def count(self) -> int:
+        return sum(self.ctx.run_job(self, len))
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        def fold(part: list[Any]) -> Any:
+            if not part:
+                return _EMPTY
+            acc = part[0]
+            for value in part[1:]:
+                acc = fn(acc, value)
+            return acc
+
+        partials = [p for p in self.ctx.run_job(self, fold) if p is not _EMPTY]
+        if not partials:
+            raise ValueError(f"reduce() of empty RDD {self.name}")
+        acc = partials[0]
+        for value in partials[1:]:
+            acc = fn(acc, value)
+        return acc
+
+
+_EMPTY = object()
+
+
+class ParallelCollectionRDD(RDD):
+    """Source RDD over pre-sliced in-memory data."""
+
+    def __init__(self, ctx: "MiniSparkContext", slices: list[list[Any]], name: str = "parallelize"):
+        super().__init__(ctx, len(slices), name)
+        self._slices = slices
+
+    def compute(self, index: int) -> list[Any]:
+        return list(self._slices[index])
+
+
+class MappedRDD(RDD):
+    """map / flatMap: per-element function, output fully materialized."""
+
+    def __init__(self, parent: RDD, fn: Callable, flat: bool, name: str):
+        super().__init__(parent.ctx, parent.num_partitions, name)
+        self.parent = parent
+        self.fn = fn
+        self.flat = flat
+
+    def dependencies(self) -> list[RDD]:
+        return [self.parent]
+
+    def compute(self, index: int) -> list[Any]:
+        source = self.parent._materialize(index)
+        if self.flat:
+            out: list[Any] = []
+            for element in source:
+                out.extend(self.fn(element))
+            return out
+        return [self.fn(element) for element in source]
+
+
+class FilteredRDD(RDD):
+    def __init__(self, parent: RDD, pred: Callable[[Any], bool], name: str):
+        super().__init__(parent.ctx, parent.num_partitions, name)
+        self.parent = parent
+        self.pred = pred
+
+    def dependencies(self) -> list[RDD]:
+        return [self.parent]
+
+    def compute(self, index: int) -> list[Any]:
+        return [e for e in self.parent._materialize(index) if self.pred(e)]
+
+
+class PartitionMappedRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable[[list[Any]], Iterable[Any]], name: str):
+        super().__init__(parent.ctx, parent.num_partitions, name)
+        self.parent = parent
+        self.fn = fn
+
+    def dependencies(self) -> list[RDD]:
+        return [self.parent]
+
+    def compute(self, index: int) -> list[Any]:
+        return list(self.fn(self.parent._materialize(index)))
+
+
+class ShuffledRDD(RDD):
+    """groupByKey / reduceByKey output: a full shuffle sits in the lineage.
+
+    The shuffle (all map tasks, bucketing, serialization) runs once, when
+    the first reduce partition is computed, and its serialized buckets are
+    retained until the RDD is garbage collected — matching Spark's shuffle
+    files.
+    """
+
+    def __init__(self, parent: RDD, combiner: Callable | None, num_partitions: int, name: str):
+        super().__init__(parent.ctx, num_partitions, name)
+        self.parent = parent
+        self.combiner = combiner
+        self.stats = ShuffleStats()
+        self._buckets: list[list[bytes]] | None = None  # [map_part][reduce_part]
+
+    def dependencies(self) -> list[RDD]:
+        return [self.parent]
+
+    def prepare_stages(self) -> None:
+        """Run the map-side stage from the driver (never from a worker —
+        a nested pool submission would deadlock a bounded pool)."""
+        self.parent.prepare_stages()
+        if self._buckets is not None:
+            return
+        serializer = self.ctx.serializer
+
+        def map_task(part: list[tuple[Hashable, Any]]) -> list[bytes]:
+            return shuffle_write(part, self.num_partitions, serializer, self.stats)
+
+        self._buckets = self.ctx.run_job_without_prepare(self.parent, map_task)
+
+    def compute(self, index: int) -> list[Any]:
+        if self._buckets is None:
+            raise RuntimeError(
+                f"shuffle stage of {self.name} was not prepared; compute() must "
+                "be reached through an action (collect/count/reduce)"
+            )
+        incoming = [row[index] for row in self._buckets]
+        grouped = shuffle_read(incoming, self.ctx.serializer, self.stats)
+        if self.combiner is None:
+            return list(grouped.items())
+        return list(combine_by_key(grouped, self.combiner).items())

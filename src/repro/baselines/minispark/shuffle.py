@@ -1,0 +1,85 @@
+"""Hash-partition shuffle (the structural bottleneck Fig. 5 measures).
+
+The map side materializes its full key-value output, hashes each pair
+into one bucket per reduce partition, and *serializes every bucket*
+(Spark writes shuffle files / sends blocks even in local mode).  The
+reduce side deserializes its incoming buckets and groups by key.  None of
+this reduces data volume before grouping — exactly the memory-constraint
+mismatch the paper describes in Section 2.3.3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Hashable, Iterable
+
+from .serializer import Serializer
+
+KV = tuple[Hashable, Any]
+
+
+class ShuffleStats:
+    """Counters for one shuffle: pairs moved and peak in-flight pairs."""
+
+    def __init__(self) -> None:
+        self.pairs_emitted = 0
+        self.buckets_written = 0
+        self.peak_pairs_in_flight = 0
+
+    def observe(self, pairs: int) -> None:
+        if pairs > self.peak_pairs_in_flight:
+            self.peak_pairs_in_flight = pairs
+
+
+def shuffle_write(
+    map_output: Iterable[KV],
+    num_reducers: int,
+    serializer: Serializer,
+    stats: ShuffleStats | None = None,
+) -> list[bytes]:
+    """Map side: bucket the pairs by ``hash(key) % num_reducers``, serialize.
+
+    Returns one serialized bucket per reduce partition.
+    """
+    if num_reducers < 1:
+        raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+    buckets: list[list[KV]] = [[] for _ in range(num_reducers)]
+    n = 0
+    for key, value in map_output:
+        buckets[hash(key) % num_reducers].append((key, value))
+        n += 1
+    if stats is not None:
+        stats.pairs_emitted += n
+        stats.buckets_written += num_reducers
+        stats.observe(n)
+    return [serializer.dumps(bucket) for bucket in buckets]
+
+
+def shuffle_read(
+    incoming: Iterable[bytes],
+    serializer: Serializer,
+    stats: ShuffleStats | None = None,
+) -> dict[Hashable, list[Any]]:
+    """Reduce side: deserialize incoming buckets and group values by key."""
+    grouped: dict[Hashable, list[Any]] = defaultdict(list)
+    total = 0
+    for payload in incoming:
+        for key, value in serializer.loads(payload):
+            grouped[key].append(value)
+            total += 1
+    if stats is not None:
+        stats.observe(total)
+    return dict(grouped)
+
+
+def combine_by_key(
+    grouped: dict[Hashable, list[Any]], combiner: Callable[[Any, Any], Any]
+) -> dict[Hashable, Any]:
+    """Fold each key's value list with ``combiner`` (reduceByKey's last step)."""
+    out: dict[Hashable, Any] = {}
+    for key, values in grouped.items():
+        acc = values[0]
+        for value in values[1:]:
+            acc = combiner(acc, value)
+        out[key] = acc
+    return out

@@ -1,0 +1,160 @@
+"""Offline (store-first-analyze-after) analytics — the Fig. 1 baseline.
+
+Traditional scientific analytics writes every time-step to persistent
+storage during the simulation and loads it back later for analysis.  The
+driver below does exactly that: each partition is written to a scratch
+file (optionally fsync'ed so the OS page cache cannot hide the cost),
+then re-read for the analytics pass.  Timings are reported per phase so
+the Fig. 1 harness can show total time and the I/O overhead bar.
+
+A *modeled* parallel-filesystem mode is also provided: instead of local
+disk, I/O seconds are charged analytically at a configurable aggregate
+bandwidth.  The paper's cluster stores 1 TB through a shared PFS; the
+modeled mode lets the harness reproduce the paper's in-situ/offline ratio
+at paper-scale volumes without a PFS (see DESIGN.md's substitution
+table).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core.scheduler import Scheduler
+from ..sim.base import Simulation
+
+
+@dataclass
+class OfflineResult:
+    """Phase timings of a store-first-analyze-after run (seconds)."""
+
+    simulate: float = 0.0
+    write: float = 0.0
+    read: float = 0.0
+    analyze: float = 0.0
+    bytes_written: int = 0
+    modeled_io: float = 0.0
+    output: object = None
+
+    @property
+    def io_overhead(self) -> float:
+        """The I/O cost in-situ processing avoids (write + read)."""
+        return self.write + self.read
+
+    @property
+    def total(self) -> float:
+        return self.simulate + self.write + self.read + self.analyze
+
+
+class OfflineDriver:
+    """Store-first-analyze-after execution of a simulation + analytics pair.
+
+    Parameters
+    ----------
+    simulation / scheduler / multi_key:
+        As in :class:`~repro.core.time_sharing.TimeSharingDriver`.
+    scratch_dir:
+        Where step files go; a temporary directory when omitted.
+    fsync:
+        Force data to the device on every write (defeats the page cache;
+        default True so the measured cost is honest).
+    modeled_bandwidth:
+        When set (bytes/second), no real files are touched: write/read
+        seconds are charged as ``bytes / bandwidth`` into ``modeled_io``
+        and the data round-trips through memory.
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        scheduler: Scheduler,
+        *,
+        multi_key: bool = False,
+        scratch_dir: str | Path | None = None,
+        fsync: bool = True,
+        modeled_bandwidth: float | None = None,
+        out_factory: Callable[[np.ndarray], np.ndarray] | None = None,
+    ):
+        self.simulation = simulation
+        self.scheduler = scheduler
+        self.multi_key = multi_key
+        self.fsync = fsync
+        self.modeled_bandwidth = modeled_bandwidth
+        self.out_factory = out_factory
+        self._own_scratch = scratch_dir is None
+        self._scratch = (
+            Path(tempfile.mkdtemp(prefix="smart-offline-"))
+            if scratch_dir is None
+            else Path(scratch_dir)
+        )
+        self._scratch.mkdir(parents=True, exist_ok=True)
+
+    # -- phase 1: simulate and store ------------------------------------------
+    def _store_step(self, step: int, partition: np.ndarray, result: OfflineResult) -> None:
+        nbytes = partition.nbytes
+        result.bytes_written += nbytes
+        if self.modeled_bandwidth is not None:
+            result.modeled_io += nbytes / self.modeled_bandwidth
+            self._memory_store[step] = partition.copy()
+            return
+        path = self._step_path(step)
+        t0 = time.perf_counter()
+        with open(path, "wb") as fh:
+            fh.write(partition.tobytes())
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        result.write += time.perf_counter() - t0
+
+    def _load_step(self, step: int, result: OfflineResult) -> np.ndarray:
+        if self.modeled_bandwidth is not None:
+            data = self._memory_store.pop(step)
+            result.modeled_io += data.nbytes / self.modeled_bandwidth
+            return data
+        path = self._step_path(step)
+        t0 = time.perf_counter()
+        data = np.fromfile(path, dtype=np.float64)
+        result.read += time.perf_counter() - t0
+        path.unlink()
+        return data
+
+    def _step_path(self, step: int) -> Path:
+        return self._scratch / f"step_{step:06d}.bin"
+
+    # -- driver ------------------------------------------------------------------
+    def run(self, num_steps: int) -> OfflineResult:
+        """Simulate + store all steps, then load + analyze all steps."""
+        result = OfflineResult()
+        self._memory_store: dict[int, np.ndarray] = {}
+        for step in range(num_steps):
+            t0 = time.perf_counter()
+            partition = self.simulation.advance()
+            result.simulate += time.perf_counter() - t0
+            self._store_step(step, partition, result)
+
+        out = None
+        for step in range(num_steps):
+            data = self._load_step(step, result)
+            t0 = time.perf_counter()
+            out = self.out_factory(data) if self.out_factory else None
+            runner = self.scheduler.run2 if self.multi_key else self.scheduler.run
+            runner(data, out)
+            result.analyze += time.perf_counter() - t0
+        result.output = out if out is not None else self.scheduler.get_combination_map()
+        self._cleanup()
+        return result
+
+    def _cleanup(self) -> None:
+        if self._own_scratch and self._scratch.exists():
+            for leftover in self._scratch.glob("step_*.bin"):
+                leftover.unlink()
+            try:
+                self._scratch.rmdir()
+            except OSError:  # pragma: no cover - non-empty foreign dir
+                pass

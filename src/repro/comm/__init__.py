@@ -1,0 +1,49 @@
+"""Message-passing substrate (the reproduction's stand-in for MPI).
+
+Public surface:
+
+* :class:`Communicator` — the interface the Smart runtime targets.
+* :class:`LocalComm` — single-rank communicator.
+* :class:`SimCluster` / :class:`SimComm` — N SPMD ranks as threads.
+* :func:`spmd_launch` — ``mpiexec``-style launcher.
+* :class:`TrafficProfiler` — byte/message accounting for the perf model.
+* Reduce operators: ``SUM``, ``MAX``, ``MIN``, ``PROD``, ``CONCAT``, ...
+"""
+
+from .errors import CommAborted, CommError, InvalidRankError, RankMismatchError, SpmdError
+from .interface import Communicator, Request
+from .launcher import spmd_launch
+from .local import LocalComm
+from .profiler import OpStats, TrafficProfiler, payload_nbytes
+from .reduce_ops import CONCAT, LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp, as_reduce_op
+from .sim import SimCluster, SimComm
+from .subgroup import UNDEFINED, GroupComm, split_comm
+
+__all__ = [
+    "CommAborted",
+    "CommError",
+    "Communicator",
+    "Request",
+    "InvalidRankError",
+    "LocalComm",
+    "OpStats",
+    "RankMismatchError",
+    "ReduceOp",
+    "GroupComm",
+    "SimCluster",
+    "SimComm",
+    "SpmdError",
+    "TrafficProfiler",
+    "as_reduce_op",
+    "payload_nbytes",
+    "split_comm",
+    "spmd_launch",
+    "UNDEFINED",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "CONCAT",
+]

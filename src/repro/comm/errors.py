@@ -1,0 +1,46 @@
+"""Errors raised by the communication substrate.
+
+The substrate mimics MPI error behaviour: a failure on any rank aborts the
+whole SPMD job, and every other rank that is blocked inside a communication
+call observes :class:`CommAborted` rather than hanging forever.
+"""
+
+from __future__ import annotations
+
+
+class CommError(RuntimeError):
+    """Base class for all communication-substrate errors."""
+
+
+class CommAborted(CommError):
+    """The SPMD job was aborted (typically because a peer rank raised).
+
+    Mirrors ``MPI_Abort`` semantics: once any rank calls abort (or dies with
+    an exception), all ranks blocked in communication calls raise this.
+    """
+
+
+class RankMismatchError(CommError):
+    """A collective was invoked with inconsistent arguments across ranks."""
+
+
+class InvalidRankError(CommError, ValueError):
+    """A point-to-point call referenced a rank outside ``[0, size)``."""
+
+
+class SpmdError(CommError):
+    """One or more ranks of an SPMD launch raised an exception.
+
+    Attributes
+    ----------
+    failures:
+        Mapping from rank to the exception that rank raised.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"rank {rank}: {type(exc).__name__}: {exc}"
+            for rank, exc in sorted(self.failures.items())
+        )
+        super().__init__(f"SPMD launch failed on {len(self.failures)} rank(s): {detail}")

@@ -1,0 +1,100 @@
+"""SPMD launch: run a function once per rank, MPI-style.
+
+``spmd_launch(n, fn)`` is the moral equivalent of ``mpiexec -n N``: it runs
+``fn(comm, ...)`` on N rank threads over a fresh :class:`SimCluster`, joins
+them, and returns the per-rank results in rank order.  A failure on any rank
+aborts the whole job (peers blocked in communication raise
+:class:`~repro.comm.errors.CommAborted`) and surfaces as a single
+:class:`~repro.comm.errors.SpmdError` carrying every rank's exception.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from .errors import CommAborted, SpmdError
+from .interface import Communicator
+from .local import LocalComm
+from .profiler import TrafficProfiler
+from .sim import DEFAULT_TIMEOUT, SimCluster
+
+RankFn = Callable[..., Any]
+
+
+def spmd_launch(
+    n_ranks: int,
+    fn: RankFn,
+    args_per_rank: Sequence[tuple] | None = None,
+    profiler: TrafficProfiler | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``n_ranks`` SPMD ranks; return rank results.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks.  ``1`` short-circuits to an in-thread
+        :class:`LocalComm` run (no thread spawn), which keeps single-rank
+        benchmarks free of threading overhead.
+    fn:
+        The SPMD body.  Receives the rank's :class:`Communicator` as its
+        first argument.
+    args_per_rank:
+        Optional per-rank positional arguments, ``args_per_rank[rank]``.
+        When omitted every rank receives only the communicator.
+    profiler:
+        Optional shared traffic profiler.
+    timeout:
+        Collective timeout in seconds (deadlock detection).
+
+    Raises
+    ------
+    SpmdError
+        If any rank raises.  ``CommAborted`` secondary failures on peer
+        ranks are suppressed in favour of the originating exception(s).
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if args_per_rank is not None and len(args_per_rank) != n_ranks:
+        raise ValueError(
+            f"args_per_rank has {len(args_per_rank)} entries for {n_ranks} ranks"
+        )
+
+    if n_ranks == 1:
+        comm: Communicator = LocalComm(profiler=profiler)
+        args = args_per_rank[0] if args_per_rank else ()
+        return [fn(comm, *args)]
+
+    cluster = SimCluster(n_ranks, profiler=profiler, timeout=timeout)
+    results: list[Any] = [None] * n_ranks
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        rank_comm = cluster.comm(rank)
+        args = args_per_rank[rank] if args_per_rank else ()
+        try:
+            results[rank] = fn(rank_comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
+            with failures_lock:
+                failures[rank] = exc
+            cluster.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=body, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        primary = {
+            rank: exc
+            for rank, exc in failures.items()
+            if not isinstance(exc, CommAborted)
+        }
+        raise SpmdError(primary or failures)
+    return results

@@ -1,0 +1,87 @@
+"""Single-rank communicator.
+
+Used for offline analytics, single-node examples, and anywhere the runtime
+needs a communicator but no peers exist.  Point-to-point self-sends are
+supported (buffered, FIFO per tag) because a 1-rank SPMD program may still
+legitimately send to itself.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import defaultdict, deque
+from typing import Any, Sequence
+
+from .errors import CommError
+from .interface import Communicator
+from .profiler import TrafficProfiler
+
+
+class LocalComm(Communicator):
+    """A communicator with exactly one rank (rank 0)."""
+
+    def __init__(self, profiler: TrafficProfiler | None = None):
+        self.profiler = profiler
+        self._self_mailbox: dict[int, deque[Any]] = defaultdict(deque)
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    # -- point to point ---------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest, "dest")
+        self._record("send", obj)
+        # Copy so a later mutation by the sender is not observed by recv,
+        # matching the buffered-send semantics of the threaded backend.
+        self._self_mailbox[tag].append(copy.deepcopy(obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        self._check_rank(source, "source")
+        box = self._self_mailbox[tag]
+        if not box:
+            raise CommError(
+                "LocalComm.recv would deadlock: no buffered self-send with tag "
+                f"{tag} (single-rank communicator cannot block on a peer)"
+            )
+        return box.popleft()
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self) -> None:
+        self._record("barrier", nbytes=0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        self._record("bcast", obj)
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_rank(root, "root")
+        self._record("gather", obj)
+        return [obj]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        self._record("allgather", obj)
+        return [obj]
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        if objs is None:
+            raise ValueError("scatter on the root rank requires a sequence")
+        if len(objs) != 1:
+            raise ValueError(f"scatter needs exactly 1 value on a 1-rank comm, got {len(objs)}")
+        self._record("scatter", objs[0])
+        return objs[0]
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != 1:
+            raise ValueError(f"alltoall needs exactly 1 value on a 1-rank comm, got {len(objs)}")
+        self._record("alltoall", objs[0])
+        return [objs[0]]
+
+    def dup(self) -> "LocalComm":
+        return LocalComm(profiler=self.profiler)

@@ -1,0 +1,96 @@
+"""Communication traffic accounting.
+
+Every communicator can carry a :class:`TrafficProfiler`.  The profiler
+records, per operation kind, the number of calls and an estimate of the
+payload bytes moved.  The performance model (``repro.perfmodel``) replays
+these counters with an alpha-beta network model to predict synchronization
+cost at cluster scale, so the counters must reflect what an MPI
+implementation would actually put on the wire.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the on-wire size of ``obj`` in bytes.
+
+    numpy arrays are counted at their buffer size (MPI would send the raw
+    buffer); everything else is counted at its pickle size, mirroring how
+    mpi4py transports generic Python objects.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, bool, np.generic)):
+        return 8
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclass
+class OpStats:
+    """Aggregate statistics for one operation kind."""
+
+    calls: int = 0
+    bytes: int = 0
+
+    def add(self, nbytes: int) -> None:
+        self.calls += 1
+        self.bytes += nbytes
+
+
+@dataclass
+class TrafficProfiler:
+    """Thread-safe per-operation traffic counters.
+
+    A single profiler may be shared by all ranks of a
+    :class:`~repro.comm.sim.SimCluster`; recording is serialized by an
+    internal lock.
+    """
+
+    stats: dict[str, OpStats] = field(default_factory=lambda: defaultdict(OpStats))
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, op: str, payload: Any = None, nbytes: int | None = None) -> None:
+        """Record one call of kind ``op`` moving ``payload`` (or ``nbytes``)."""
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        with self._lock:
+            self.stats[op].add(size)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.stats.clear()
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(s.bytes for s in self.stats.values())
+
+    def total_calls(self) -> int:
+        with self._lock:
+            return sum(s.calls for s in self.stats.values())
+
+    def snapshot(self) -> dict[str, tuple[int, int]]:
+        """Return ``{op: (calls, bytes)}`` at this instant."""
+        with self._lock:
+            return {op: (s.calls, s.bytes) for op, s in self.stats.items()}
+
+    def bytes_for(self, op: str) -> int:
+        with self._lock:
+            return self.stats[op].bytes if op in self.stats else 0
+
+    def calls_for(self, op: str) -> int:
+        with self._lock:
+            return self.stats[op].calls if op in self.stats else 0

@@ -1,0 +1,95 @@
+"""Reduction operators for collective operations.
+
+Operators work on scalars, sequences, and numpy arrays.  For numpy inputs
+the combining step is fully vectorized (per the HPC guides: never loop over
+array elements in Python when an ufunc exists).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+Combiner = Callable[[Any, Any], Any]
+
+
+def _np_pairwise(ufunc: np.ufunc) -> Combiner:
+    def combine(a: Any, b: Any) -> Any:
+        return ufunc(a, b)
+
+    return combine
+
+
+class ReduceOp:
+    """A named, associative, commutative reduction operator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in profiler output and errors).
+    combine:
+        Binary combiner ``combine(acc, value) -> acc`` applied in rank order
+        ``0..size-1`` so results are deterministic.
+    """
+
+    __slots__ = ("name", "combine")
+
+    def __init__(self, name: str, combine: Combiner):
+        self.name = name
+        self.combine = combine
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ReduceOp({self.name})"
+
+    def reduce(self, values: Sequence[Any]) -> Any:
+        """Reduce ``values`` (one per rank, rank order) to a single value."""
+        if not values:
+            raise ValueError(f"cannot reduce an empty sequence with {self.name}")
+        it: Iterable[Any] = iter(values)
+        acc = next(iter(it))
+        # Copy the accumulator when it is a numpy array so in-place combiners
+        # never alias a rank's contribution buffer.
+        if isinstance(acc, np.ndarray):
+            acc = acc.copy()
+        for value in it:
+            acc = self.combine(acc, value)
+        return acc
+
+
+SUM = ReduceOp("sum", _np_pairwise(np.add))
+PROD = ReduceOp("prod", _np_pairwise(np.multiply))
+MAX = ReduceOp("max", _np_pairwise(np.maximum))
+MIN = ReduceOp("min", _np_pairwise(np.minimum))
+LAND = ReduceOp("land", lambda a, b: np.logical_and(a, b))
+LOR = ReduceOp("lor", lambda a, b: np.logical_or(a, b))
+CONCAT = ReduceOp("concat", lambda a, b: list(a) + list(b))
+
+
+def as_reduce_op(op: ReduceOp | Combiner | str) -> ReduceOp:
+    """Coerce ``op`` to a :class:`ReduceOp`.
+
+    Accepts a ``ReduceOp``, one of the builtin names (``"sum"``, ``"max"``,
+    ...), or a bare binary callable.
+    """
+    if isinstance(op, ReduceOp):
+        return op
+    if isinstance(op, str):
+        try:
+            return _BUILTIN[op]
+        except KeyError:
+            raise ValueError(f"unknown reduce op name: {op!r}") from None
+    if callable(op):
+        return ReduceOp(getattr(op, "__name__", "custom"), op)
+    raise TypeError(f"cannot interpret {op!r} as a reduce op")
+
+
+_BUILTIN = {
+    "sum": SUM,
+    "prod": PROD,
+    "max": MAX,
+    "min": MIN,
+    "land": LAND,
+    "lor": LOR,
+    "concat": CONCAT,
+}

@@ -1,0 +1,304 @@
+"""Threaded SPMD communicator: N ranks as real threads, one process.
+
+This is the stand-in for MPI in this reproduction (see DESIGN.md section 1).
+Each rank of the SPMD program runs on its own thread; collectives are
+implemented with shared slots guarded by a pair of alternating barriers, and
+point-to-point messages go through tag-addressed mailboxes.  Synchronization
+is *real* (threads genuinely block at barriers and on receives), so the
+ordering, deadlock, and semantics properties of the code under test match a
+genuine MPI execution; only the transport differs.
+
+Concurrency contract (same as MPI): all ranks of a communicator must call
+collectives in the same order.  Code that needs concurrent communication
+from multiple threads of the same rank (space-sharing mode, Listing 2 of
+the paper) must :meth:`~SimComm.dup` the communicator, exactly as one would
+duplicate an MPI communicator.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import defaultdict, deque
+from typing import Any, Sequence
+
+import numpy as np
+
+from .errors import CommAborted, RankMismatchError
+from .interface import Communicator
+from .profiler import TrafficProfiler
+
+#: Default seconds to wait in a collective before declaring the job wedged.
+#: Generous enough for slow CI; small enough that a deadlocked test fails.
+DEFAULT_TIMEOUT = 120.0
+
+
+def _isolate(obj: Any) -> Any:
+    """Return a copy of ``obj`` so receiver and sender never share buffers.
+
+    Mirrors MPI semantics where every rank owns its receive buffer.  numpy
+    arrays get a cheap buffer copy; other objects are deep-copied.
+    """
+    if obj is None or isinstance(obj, (int, float, bool, str, bytes, np.generic)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return copy.deepcopy(obj)
+
+
+class _Context:
+    """Shared state for one communicator context (one 'MPI communicator')."""
+
+    def __init__(self, size: int, timeout: float):
+        self.size = size
+        self.timeout = timeout
+        self.slots: list[Any] = [None] * size
+        self.root_slot: Any = None
+        self.tag_slot: Any = None  # collective-consistency checking
+        self.enter = threading.Barrier(size)
+        self.leave = threading.Barrier(size)
+        self.mail: dict[tuple[int, int, int], deque[Any]] = defaultdict(deque)
+        self.mail_cond = threading.Condition()
+        self.aborted = False
+        self.abort_reason: str | None = None
+
+    def abort(self, reason: str) -> None:
+        self.aborted = True
+        if self.abort_reason is None:
+            self.abort_reason = reason
+        self.enter.abort()
+        self.leave.abort()
+        with self.mail_cond:
+            self.mail_cond.notify_all()
+
+    def check_abort(self) -> None:
+        if self.aborted:
+            raise CommAborted(self.abort_reason or "SPMD job aborted")
+
+    def wait(self, barrier: threading.Barrier) -> None:
+        self.check_abort()
+        try:
+            barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            if not self.aborted:
+                self.abort(f"collective timed out after {self.timeout}s")
+            raise CommAborted(self.abort_reason or "barrier broken") from None
+        self.check_abort()
+
+
+class SimCluster:
+    """Factory and shared state for a set of :class:`SimComm` rank handles.
+
+    Parameters
+    ----------
+    size:
+        Number of SPMD ranks.
+    profiler:
+        Optional shared :class:`TrafficProfiler`; when set, every rank's
+        communication is accounted into it.
+    timeout:
+        Seconds a rank may block in a collective before the whole job is
+        aborted (deadlock detection for tests).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        profiler: TrafficProfiler | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {size}")
+        self.size = size
+        self.profiler = profiler
+        self.timeout = timeout
+        self._world = _Context(size, timeout)
+        self._contexts: list[_Context] = [self._world]
+        self._ctx_lock = threading.Lock()
+
+    def comm(self, rank: int) -> "SimComm":
+        """The world-communicator handle for ``rank``."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return SimComm(self, self._world, rank)
+
+    def comms(self) -> list["SimComm"]:
+        """World-communicator handles for every rank, rank order."""
+        return [self.comm(r) for r in range(self.size)]
+
+    def new_context(self) -> _Context:
+        ctx = _Context(self.size, self.timeout)
+        with self._ctx_lock:
+            self._contexts.append(ctx)
+        return ctx
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Abort every context: all blocked ranks raise :class:`CommAborted`."""
+        with self._ctx_lock:
+            contexts = list(self._contexts)
+        for ctx in contexts:
+            ctx.abort(reason)
+
+
+class SimComm(Communicator):
+    """One rank's handle onto a :class:`SimCluster` context."""
+
+    def __init__(self, cluster: SimCluster, context: _Context, rank: int):
+        self._cluster = cluster
+        self._ctx = context
+        self._rank = rank
+        self.profiler = cluster.profiler
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._ctx.size
+
+    # -- point to point ---------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest, "dest")
+        self._record("send", obj)
+        ctx = self._ctx
+        payload = _isolate(obj)
+        with ctx.mail_cond:
+            ctx.check_abort()
+            ctx.mail[(dest, self._rank, tag)].append(payload)
+            ctx.mail_cond.notify_all()
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        self._check_rank(source, "source")
+        ctx = self._ctx
+        key = (self._rank, source, tag)
+        with ctx.mail_cond:
+            while not ctx.mail.get(key):
+                ctx.check_abort()
+                if not ctx.mail_cond.wait(timeout=ctx.timeout):
+                    ctx.abort(f"recv(source={source}, tag={tag}) timed out on rank {self._rank}")
+                    ctx.check_abort()
+            return ctx.mail[key].popleft()
+
+    # -- collectives ------------------------------------------------------
+    def _collective_check(self, name: str) -> None:
+        """Detect mismatched collective calls across ranks (cheap guard)."""
+        ctx = self._ctx
+        if self._rank == 0:
+            ctx.tag_slot = name
+        ctx.wait(ctx.enter)
+        if ctx.tag_slot != name:
+            ctx.abort(
+                f"collective mismatch: rank {self._rank} called {name!r} while "
+                f"rank 0 called {ctx.tag_slot!r}"
+            )
+            ctx.check_abort()
+
+    def barrier(self) -> None:
+        self._record("barrier", nbytes=0)
+        ctx = self._ctx
+        self._collective_check("barrier")
+        ctx.wait(ctx.leave)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        ctx = self._ctx
+        if self._rank == root:
+            self._record("bcast", obj)
+            ctx.root_slot = obj
+        self._collective_check("bcast")
+        ctx.wait(ctx.leave)  # root_slot published
+        result = ctx.root_slot if self._rank == root else _isolate(ctx.root_slot)
+        ctx.wait(ctx.enter)  # everyone done reading
+        if self._rank == root:
+            ctx.root_slot = None
+        ctx.wait(ctx.leave)
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_rank(root, "root")
+        self._record("gather", obj)
+        ctx = self._ctx
+        ctx.slots[self._rank] = obj
+        self._collective_check("gather")
+        ctx.wait(ctx.leave)  # slots published
+        result = [_isolate(v) for v in ctx.slots] if self._rank == root else None
+        ctx.wait(ctx.enter)
+        ctx.slots[self._rank] = None
+        ctx.wait(ctx.leave)
+        return result
+
+    def allgather(self, obj: Any) -> list[Any]:
+        self._record("allgather", obj)
+        ctx = self._ctx
+        ctx.slots[self._rank] = obj
+        self._collective_check("allgather")
+        ctx.wait(ctx.leave)
+        result = [v if i == self._rank else _isolate(v) for i, v in enumerate(ctx.slots)]
+        ctx.wait(ctx.enter)
+        ctx.slots[self._rank] = None
+        ctx.wait(ctx.leave)
+        return result
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        ctx = self._ctx
+        if self._rank == root:
+            if objs is None:
+                ctx.abort(f"scatter root {root} passed None")
+            elif len(objs) != self.size:
+                ctx.abort(
+                    f"scatter needs exactly {self.size} values, got {len(objs)}"
+                )
+            else:
+                self._record("scatter", objs)
+                ctx.root_slot = list(objs)
+        self._collective_check("scatter")
+        ctx.wait(ctx.leave)
+        ctx.check_abort()
+        value = ctx.root_slot[self._rank]
+        if self._rank != root:
+            value = _isolate(value)
+        ctx.wait(ctx.enter)
+        if self._rank == root:
+            ctx.root_slot = None
+        ctx.wait(ctx.leave)
+        return value
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        ctx = self._ctx
+        if len(objs) != self.size:
+            ctx.abort(
+                f"alltoall on rank {self._rank} needs {self.size} values, got {len(objs)}"
+            )
+            ctx.check_abort()
+        self._record("alltoall", list(objs))
+        ctx.slots[self._rank] = list(objs)
+        self._collective_check("alltoall")
+        ctx.wait(ctx.leave)
+        result = [_isolate(ctx.slots[src][self._rank]) for src in range(self.size)]
+        ctx.wait(ctx.enter)
+        ctx.slots[self._rank] = None
+        ctx.wait(ctx.leave)
+        return result
+
+    # -- structure --------------------------------------------------------
+    def dup(self) -> "SimComm":
+        """Collectively duplicate into an independent context.
+
+        All ranks must call :meth:`dup` together; the new communicator's
+        collectives are fully independent from the parent's (same rank ids).
+        """
+        ctx = self._ctx
+        if self._rank == 0:
+            ctx.root_slot = self._cluster.new_context()
+        self._collective_check("dup")
+        ctx.wait(ctx.leave)
+        new_ctx = ctx.root_slot  # shared by reference on purpose
+        ctx.wait(ctx.enter)
+        if self._rank == 0:
+            ctx.root_slot = None
+        ctx.wait(ctx.leave)
+        if not isinstance(new_ctx, _Context):  # pragma: no cover - defensive
+            raise RankMismatchError("dup lost the new context")
+        return SimComm(self._cluster, new_ctx, self._rank)

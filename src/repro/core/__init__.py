@@ -1,0 +1,60 @@
+"""Smart core runtime — the paper's primary contribution.
+
+Public surface:
+
+* :class:`Scheduler` — subclass to write an analytics application
+  (override ``gen_key``/``gen_keys``, ``accumulate``, ``merge``, and
+  optionally ``process_extra_data``, ``post_combine``, ``convert``,
+  ``trigger`` on the reduction object).
+* :class:`SchedArgs` — runtime configuration (Table 1, function 1).
+* :class:`RedObj` — reduction object base class.
+* :class:`TimeSharingDriver` / :class:`SpaceSharingDriver` — the two
+  in-situ modes.
+* :class:`SmartPipeline` — chained Smart jobs with local-only stages.
+"""
+
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .chunk import Chunk, Split, iter_blocks, make_splits
+from .in_transit import InTransitDriver, Placement, split_staging_comm
+from .circular_buffer import BufferClosed, CircularBuffer
+from .maps import KeyedMap
+from .pipeline import PipelineStage, SmartPipeline
+from .red_obj import RedObj, ensure_red_obj
+from .sched_args import SchedArgs
+from .scheduler import RunStats, Scheduler, merge_distributed_output
+from .serialization import deserialize_map, global_combine, serialize_map
+from .space_sharing import CoreSplit, SpaceSharingDriver, SpaceSharingResult
+from .time_sharing import StepTiming, TimeSharingDriver, TimeSharingResult
+
+__all__ = [
+    "BufferClosed",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
+    "Chunk",
+    "CircularBuffer",
+    "CoreSplit",
+    "KeyedMap",
+    "PipelineStage",
+    "RedObj",
+    "RunStats",
+    "SchedArgs",
+    "Scheduler",
+    "SmartPipeline",
+    "SpaceSharingDriver",
+    "SpaceSharingResult",
+    "Split",
+    "StepTiming",
+    "TimeSharingDriver",
+    "TimeSharingResult",
+    "deserialize_map",
+    "ensure_red_obj",
+    "InTransitDriver",
+    "Placement",
+    "split_staging_comm",
+    "global_combine",
+    "iter_blocks",
+    "make_splits",
+    "merge_distributed_output",
+    "serialize_map",
+]

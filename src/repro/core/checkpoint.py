@@ -1,0 +1,108 @@
+"""Checkpoint/restore of analytics state.
+
+Long-running in-situ deployments outlive single program runs: a
+simulation restarting from its own checkpoint needs the co-located
+analytics to resume where it left off (the evolving k-means centroids,
+the accumulated histogram).  Smart's entire analytics state is the
+combination map, so a checkpoint is one serialized map plus a small
+header, written atomically (temp file + rename).
+
+Every rank checkpoints its own state; with global combination on, the
+maps are identical across ranks, so restoring rank files (or a single
+shared file) reproduces the global state exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from .scheduler import Scheduler
+from .serialization import deserialize_map, serialize_map
+
+_MAGIC = "smart-checkpoint"
+_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is missing, corrupt, or incompatible."""
+
+
+def save_checkpoint(
+    scheduler: Scheduler, path: str | Path, metadata: dict[str, Any] | None = None
+) -> Path:
+    """Write the scheduler's combination map (and stats counters) to ``path``.
+
+    The write is atomic: a temp file in the same directory is fsync'ed
+    and renamed over the destination, so a crash mid-save never corrupts
+    an existing checkpoint.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "magic": _MAGIC,
+        "version": _VERSION,
+        "scheduler": type(scheduler).__name__,
+        "metadata": metadata or {},
+        "stats": {
+            "runs": scheduler.stats.runs,
+            "iterations_run": scheduler.stats.iterations_run,
+            "early_emissions": scheduler.stats.early_emissions,
+        },
+    }
+    header_bytes = json.dumps(header).encode()
+    payload = serialize_map(scheduler.get_combination_map())
+
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(len(header_bytes).to_bytes(8, "little"))
+            fh.write(header_bytes)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def load_checkpoint(
+    scheduler: Scheduler, path: str | Path, *, strict_type: bool = True
+) -> dict[str, Any]:
+    """Restore a scheduler's combination map from ``path``.
+
+    Returns the checkpoint's metadata dict.  With ``strict_type`` (the
+    default) the checkpoint must have been written by the same scheduler
+    class — restoring a k-means state into a histogram is a bug, not a
+    migration.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    raw = path.read_bytes()
+    try:
+        header_len = int.from_bytes(raw[:8], "little")
+        header = json.loads(raw[8 : 8 + header_len].decode())
+        payload = raw[8 + header_len :]
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    if header.get("magic") != _MAGIC:
+        raise CheckpointError(f"{path} is not a Smart checkpoint")
+    if header.get("version") != _VERSION:
+        raise CheckpointError(
+            f"checkpoint version {header.get('version')} unsupported "
+            f"(expected {_VERSION})"
+        )
+    if strict_type and header.get("scheduler") != type(scheduler).__name__:
+        raise CheckpointError(
+            f"checkpoint was written by {header.get('scheduler')}, not "
+            f"{type(scheduler).__name__}"
+        )
+    scheduler.combination_map_ = deserialize_map(payload)
+    return header.get("metadata", {})

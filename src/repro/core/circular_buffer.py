@@ -1,0 +1,101 @@
+"""Circular buffer for space-sharing mode (paper Section 3.2, Figure 4).
+
+Smart maintains a bounded circular buffer whose cells cache time-step
+outputs.  The simulation (producer) copies each finished time-step into an
+empty cell via ``put`` and *blocks when the buffer is full*; the analytics
+(consumer) drains cells via ``get``.  Cells allocate on demand: the buffer
+holds references, so memory is only committed for occupied cells.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class BufferClosed(RuntimeError):
+    """``get`` was called on a closed, drained buffer."""
+
+
+class CircularBuffer:
+    """Bounded FIFO with blocking put/get and close semantics.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached time-steps (cells).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._cells: list[Any] = [None] * capacity
+        self._head = 0  # next cell to read
+        self._count = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        # Occupancy telemetry for the space-sharing analysis.
+        self.puts = 0
+        self.gets = 0
+        self.producer_blocks = 0
+        self.consumer_blocks = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._count
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Copy one time-step into the next empty cell; block while full."""
+        with self._cond:
+            if self._closed:
+                raise BufferClosed("cannot feed a closed buffer")
+            if self._count == self.capacity:
+                self.producer_blocks += 1
+            while self._count == self.capacity:
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"producer blocked > {timeout}s on a full buffer"
+                    )
+                if self._closed:
+                    raise BufferClosed("buffer closed while producer was blocked")
+            tail = (self._head + self._count) % self.capacity
+            self._cells[tail] = item
+            self._count += 1
+            self.puts += 1
+            self._cond.notify_all()
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Take the oldest cached time-step; block while empty.
+
+        Raises :class:`BufferClosed` once the buffer is closed and fully
+        drained (the consumer's termination signal).
+        """
+        with self._cond:
+            if self._count == 0 and not self._closed:
+                self.consumer_blocks += 1
+            while self._count == 0:
+                if self._closed:
+                    raise BufferClosed("buffer closed and drained")
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"consumer blocked > {timeout}s on an empty buffer"
+                    )
+            item = self._cells[self._head]
+            self._cells[self._head] = None  # free the cell eagerly
+            self._head = (self._head + 1) % self.capacity
+            self._count -= 1
+            self.gets += 1
+            self._cond.notify_all()
+            return item
+
+    def close(self) -> None:
+        """Mark end of stream; wakes any blocked producer/consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,109 @@
+"""Reduction and combination maps (paper Section 3.1).
+
+Both are ``int key -> RedObj`` dictionaries.  A *reduction map* is private
+to one thread during the reduction phase; a *combination map* holds the
+per-process (local) or global result after the combination phase.  The
+merge-or-move rule of Algorithm 1 lines 11-17 lives in
+:meth:`KeyedMap.merge_in`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from .red_obj import RedObj, ensure_red_obj
+
+MergeFn = Callable[[RedObj, RedObj], RedObj]
+
+
+class KeyedMap:
+    """An ordered ``int -> RedObj`` map with Smart's merge-or-move rule.
+
+    Iteration order is insertion order (deterministic), and keys are
+    reported sorted where the paper's output conversion requires integer
+    keys starting from 0 (Listing 4 discussion).
+    """
+
+    __slots__ = ("_d",)
+
+    def __init__(self, initial: Mapping[int, RedObj] | None = None):
+        self._d: dict[int, RedObj] = {}
+        if initial:
+            for key, obj in initial.items():
+                self[key] = obj
+
+    # -- dict-like surface -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._d
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._d)
+
+    def __getitem__(self, key: int) -> RedObj:
+        return self._d[key]
+
+    def __setitem__(self, key: int, obj: RedObj) -> None:
+        self._d[int(key)] = ensure_red_obj(obj)
+
+    def __delitem__(self, key: int) -> None:
+        del self._d[key]
+
+    def get(self, key: int, default: RedObj | None = None) -> RedObj | None:
+        return self._d.get(key, default)
+
+    def pop(self, key: int) -> RedObj:
+        return self._d.pop(key)
+
+    def keys(self):
+        return self._d.keys()
+
+    def items(self):
+        return self._d.items()
+
+    def values(self):
+        return self._d.values()
+
+    def clear(self) -> None:
+        self._d.clear()
+
+    def sorted_items(self) -> list[tuple[int, RedObj]]:
+        return sorted(self._d.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyedMap({len(self._d)} keys)"
+
+    # -- Smart semantics ----------------------------------------------------
+    def merge_in(self, key: int, red_obj: RedObj, merge: MergeFn) -> None:
+        """Merge ``red_obj`` under ``key`` (Algorithm 1 lines 12-16).
+
+        If the key exists, ``merge(red_obj, existing)`` combines them (the
+        merge callback returns the combined object); otherwise the object
+        is *moved* in as-is.
+        """
+        existing = self._d.get(key)
+        if existing is None:
+            self._d[int(key)] = ensure_red_obj(red_obj)
+        else:
+            self._d[int(key)] = ensure_red_obj(
+                merge(red_obj, existing), "merge() result"
+            )
+
+    def merge_map(self, other: "KeyedMap | Mapping[int, RedObj]", merge: MergeFn) -> None:
+        """Merge every entry of ``other`` into this map."""
+        items = other.items() if hasattr(other, "items") else other
+        for key, obj in items:
+            self.merge_in(key, obj, merge)
+
+    def clone(self) -> "KeyedMap":
+        """Deep copy (clones every reduction object)."""
+        fresh = KeyedMap()
+        for key, obj in self._d.items():
+            fresh._d[key] = obj.clone()
+        return fresh
+
+    def state_nbytes(self) -> int:
+        """Approximate footprint of all reduction objects (memory audit)."""
+        return sum(obj.nbytes() for obj in self._d.values())

@@ -1,0 +1,85 @@
+"""Smart job pipelines (paper Section 3.1, last paragraph).
+
+In-situ analytics tasks are often deployed as a MapReduce pipeline: a
+preprocessing stage (smoothing, filtering, reorganization) produces a
+*local* output on each partition — global combination is turned off — and
+that output feeds the next Smart job in the parallel code region.
+
+:class:`SmartPipeline` chains schedulers that way.  Each stage declares
+how its result becomes the next stage's input via ``emit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .maps import KeyedMap
+from .scheduler import Scheduler
+
+
+@dataclass
+class PipelineStage:
+    """One job of a pipeline.
+
+    Parameters
+    ----------
+    scheduler:
+        The Smart application for this stage.
+    emit:
+        ``emit(scheduler, data) -> np.ndarray`` turning the stage's state
+        (typically its local combination map) into the next stage's input
+        partition.  ``data`` is the input this stage consumed.  The final
+        stage may omit ``emit``.
+    multi_key:
+        Whether the stage uses ``run2``.
+    local_only:
+        Turn off global combination for this stage (the default for every
+        stage but the last, matching the paper's description).
+    """
+
+    scheduler: Scheduler
+    emit: Callable[[Scheduler, np.ndarray], np.ndarray] | None = None
+    multi_key: bool = False
+    local_only: bool = True
+
+
+class SmartPipeline:
+    """Run a sequence of Smart jobs over each partition.
+
+    The final stage keeps global combination on (unless configured
+    otherwise), so after :meth:`run` the caller reads the global result
+    from the last scheduler's combination map, exactly as with a single
+    job.
+    """
+
+    def __init__(self, stages: Sequence[PipelineStage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+        for i, stage in enumerate(self.stages):
+            is_last = i == len(self.stages) - 1
+            if not is_last and stage.emit is None:
+                raise ValueError(f"stage {i} is not last and has no emit()")
+            stage.scheduler.set_global_combination(
+                not stage.local_only or is_last
+            )
+
+    def run(self, data: np.ndarray, out: np.ndarray | None = None) -> Any:
+        """Feed ``data`` through every stage; return the last stage's result."""
+        current = np.asarray(data)
+        result: Any = None
+        for i, stage in enumerate(self.stages):
+            is_last = i == len(self.stages) - 1
+            runner = stage.scheduler.run2 if stage.multi_key else stage.scheduler.run
+            result = runner(current, out if is_last else None)
+            if not is_last:
+                assert stage.emit is not None
+                current = np.asarray(stage.emit(stage.scheduler, current))
+        return result
+
+    @property
+    def final_map(self) -> KeyedMap:
+        return self.stages[-1].scheduler.get_combination_map()

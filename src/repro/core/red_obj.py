@@ -1,0 +1,96 @@
+"""Reduction objects — Smart's replacement for intermediate key-value pairs.
+
+A reduction object (paper Section 3.1) represents the accumulated value of
+every input element that maps to one key.  Updating it *in place* during
+the reduction phase — rather than emitting a key-value pair per element —
+is the core memory-efficiency idea of Smart: state never exceeds one
+object per distinct key.
+
+Subclasses define the application state (e.g. ``count`` for a histogram
+bucket, ``(centroid, sum, size)`` for a k-means cluster) and may override
+:meth:`RedObj.trigger` to opt into early emission (paper Section 4,
+Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import sys
+from typing import Any
+
+
+class RedObj:
+    """Base reduction object.
+
+    Contract (enforced by the scheduler's data-processing mechanism,
+    paper Algorithm 1):
+
+    * ``Scheduler.merge(a, b)`` must treat the state accumulated into
+      reduction objects as associative and commutative.
+    * For iterative applications that seed reduction maps from the
+      combination map (``Scheduler.seed_reduction_maps = True``), every
+      field touched by ``merge`` must be at its identity value after
+      ``post_combine`` (e.g. k-means resets ``sum``/``size`` when it
+      recomputes centroids), otherwise seeding would multiply-count it.
+    """
+
+    __slots__ = ()
+
+    def trigger(self) -> bool:
+        """Early-emission condition (Algorithm 2, line 5).
+
+        Returns True when this object's value is final and it can be
+        converted to output and dropped from the reduction map before the
+        combination phase.  Default: never (no early emission).
+        """
+        return False
+
+    def clone(self) -> "RedObj":
+        """Deep copy; used to seed reduction maps from the combination map."""
+        return copy.deepcopy(self)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint, for the memory audit.
+
+        Subclasses with large payloads (e.g. the Θ(W) moving-median
+        object) should override with an exact count.
+        """
+        total = sys.getsizeof(self)
+        for slot_holder in type(self).__mro__:
+            for name in getattr(slot_holder, "__slots__", ()):
+                try:
+                    total += sys.getsizeof(getattr(self, name))
+                except AttributeError:
+                    pass
+        if hasattr(self, "__dict__"):
+            total += sum(sys.getsizeof(v) for v in self.__dict__.values())
+        return total
+
+    # -- serialization (global combination wire format) -------------------
+    def to_bytes(self) -> bytes:
+        """Serialize for global combination.
+
+        The default pickles the object.  The paper (Section 5.3) notes
+        that serializing noncontiguous reduction objects is the overhead
+        Smart pays over a contiguous ``MPI_Allreduce``; overriding this
+        with a compact encoding narrows that overhead.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "RedObj":
+        obj = pickle.loads(payload)
+        if not isinstance(obj, RedObj):
+            raise TypeError(f"deserialized {type(obj).__name__}, expected a RedObj")
+        return obj
+
+
+def ensure_red_obj(obj: Any, what: str = "reduction object") -> RedObj:
+    """Runtime type check used at user-callback boundaries."""
+    if not isinstance(obj, RedObj):
+        raise TypeError(
+            f"{what} must be a RedObj, got {type(obj).__name__}; did accumulate() "
+            "forget to return the (possibly newly created) reduction object?"
+        )
+    return obj

@@ -1,0 +1,90 @@
+"""Scheduler arguments (paper Table 1, runtime function 1).
+
+``SchedArgs(int num_threads, size_t chunk_size, const void* extra_data,
+int num_iters)`` from the C++ API, extended with the knobs this
+reproduction adds (block streaming, real threading, vectorized fast path,
+space-sharing buffer capacity, and the Fig-9 extra-copy toggle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class SchedArgs:
+    """Configuration for a :class:`~repro.core.scheduler.Scheduler`.
+
+    Parameters
+    ----------
+    num_threads:
+        Threads per process for the reduction phase.  To maximize
+        analytics performance this should equal the simulation's thread
+        count in time-sharing mode (paper Listing 1 discussion).
+    chunk_size:
+        Elements per unit chunk — often the feature-vector length of the
+        analytics (1 for histogram, ``num_dims`` for k-means).
+    extra_data:
+        Additional analytics input (e.g. initial k-means centroids),
+        handed to ``process_extra_data``.  Default ``None``.
+    num_iters:
+        Iterations for iterative processing (k-means, logistic
+        regression).  Default 1.
+    block_size:
+        Elements per scheduler block; the runtime processes a partition
+        block by block.  ``None`` processes the whole partition as one
+        block.
+    use_threads:
+        When True and ``num_threads > 1``, splits are reduced on a real
+        thread pool.  When False the splits are processed sequentially
+        (same structure, deterministic order) — appropriate on the
+        single-core host this reproduction targets.
+    vectorized:
+        Use the application's numpy ``vector_reduce`` fast path when it
+        provides one (semantically identical to the chunk loop; tests
+        assert the equivalence).
+    buffer_capacity:
+        Cells in the space-sharing circular buffer (paper Figure 4).
+    copy_input:
+        Time-sharing only: make an extra copy of the simulation output
+        before analytics instead of processing through the read pointer.
+        Exists solely to reproduce the paper's Figure 9 comparison.
+    disable_early_emission:
+        Ignore reduction-object triggers, holding every object until the
+        combination phase — the unoptimized implementation the paper's
+        Figure 11 compares against.
+    combine_algorithm:
+        Global-combination algorithm: ``"gather"`` (the paper's
+        merge-on-master) or ``"tree"`` (binomial reduce, merging work
+        spread across ranks).
+    """
+
+    num_threads: int = 1
+    chunk_size: int = 1
+    extra_data: Any = None
+    num_iters: int = 1
+    block_size: int | None = None
+    use_threads: bool = False
+    vectorized: bool = False
+    buffer_capacity: int = 4
+    copy_input: bool = False
+    disable_early_emission: bool = False
+    combine_algorithm: str = "gather"
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {self.num_threads}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.num_iters < 1:
+            raise ValueError(f"num_iters must be >= 1, got {self.num_iters}")
+        if self.block_size is not None and self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1 or None, got {self.block_size}")
+        if self.buffer_capacity < 1:
+            raise ValueError(f"buffer_capacity must be >= 1, got {self.buffer_capacity}")
+        if self.combine_algorithm not in ("gather", "tree"):
+            raise ValueError(
+                f"combine_algorithm must be 'gather' or 'tree', "
+                f"got {self.combine_algorithm!r}"
+            )

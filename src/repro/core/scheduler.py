@@ -1,0 +1,499 @@
+"""The Smart runtime scheduler (paper Sections 3.1, 3.4; Algorithms 1-2).
+
+A :class:`Scheduler` subclass *is* an analytics application: the user
+overrides the seven callbacks of the paper's Table 1 ("functions
+implemented by the user") and the runtime provides the nine launch
+functions ("functions provided by the runtime") — here folded into
+:meth:`run` / :meth:`run2` (time sharing takes data explicitly; space
+sharing feeds data via :meth:`feed` and calls ``run``/``run2`` with
+``data=None``).
+
+Execution flow per :meth:`run` (Algorithm 1):
+
+1. ``process_extra_data`` initializes the combination map if needed.
+2. For each iteration: reduction maps are (optionally) seeded from the
+   combination map, the partition is processed block by block, each block
+   split across threads, each split chunk by chunk —
+   ``gen_key``/``gen_keys`` then ``accumulate`` (no intermediate key-value
+   pair is ever materialized).
+3. Early emission (Algorithm 2): after each accumulate, ``trigger()`` may
+   finalize the reduction object straight into the output and drop it
+   from the reduction map.
+4. Local combination merges the per-thread reduction maps into the local
+   combination map; global combination merges local maps across ranks
+   (serialize → gather to master → merge → broadcast back).
+5. ``post_combine`` updates state between iterations; ``convert`` writes
+   the remaining combination map into the output array.
+
+Python adaptation of the C++ signatures: references cannot be passed, so
+``accumulate`` *returns* the (possibly newly allocated) reduction object
+and ``merge`` *returns* the combined object; ``convert`` receives the
+output array plus the key instead of ``out[key]``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..comm.interface import Communicator
+from ..comm.local import LocalComm
+from .chunk import Chunk, Split, iter_blocks, make_splits
+from .circular_buffer import CircularBuffer
+from .maps import KeyedMap
+from .red_obj import RedObj, ensure_red_obj
+from .sched_args import SchedArgs
+from .serialization import global_combine
+
+
+@dataclass
+class RunStats:
+    """Counters maintained by the scheduler across :meth:`Scheduler.run` calls.
+
+    ``peak_red_objects`` is the memory-efficiency headline number: the
+    maximum simultaneous count of reduction objects held across all
+    thread-local reduction maps plus the combination map (paper Sections
+    4.1-4.2 reason entirely in these units).
+    """
+
+    chunks_processed: int = 0
+    accumulate_calls: int = 0
+    early_emissions: int = 0
+    iterations_run: int = 0
+    runs: int = 0
+    peak_red_objects: int = 0
+    global_combinations: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def observe_objects(self, count: int) -> None:
+        if count > self.peak_red_objects:
+            self.peak_red_objects = count
+
+
+class Scheduler:
+    """Base class for Smart analytics applications.
+
+    Parameters
+    ----------
+    args:
+        Scheduler arguments (threads, chunk size, extra data, iterations).
+    comm:
+        Communicator for global combination.  Defaults to a single-rank
+        :class:`~repro.comm.local.LocalComm`; in-situ SPMD programs pass
+        their rank's communicator (paper Listing 1/2).
+
+    Class attributes subclasses may set
+    -----------------------------------
+    seed_reduction_maps:
+        When True (iterative applications such as k-means), every
+        reduction map is seeded with a clone of the combination map at
+        the start of each iteration — Algorithm 1 line 6.  Requires the
+        identity-after-``post_combine`` contract documented on
+        :class:`~repro.core.red_obj.RedObj`.
+    """
+
+    seed_reduction_maps: bool = False
+
+    def __init__(self, args: SchedArgs, comm: Communicator | None = None):
+        self.args = args
+        self.comm: Communicator = comm if comm is not None else LocalComm()
+        self.combination_map_ = KeyedMap()
+        self.stats = RunStats()
+        self._global_combination = True
+        self._fed: CircularBuffer | None = None
+        self._extra_processed = False
+        # Per-run context visible to user callbacks (paper exposes the same
+        # names with trailing underscores).
+        self.data_: np.ndarray | None = None
+        self.out_: np.ndarray | None = None
+        self.global_offset_: int = 0
+        self.total_len_: int = 0
+
+    # ------------------------------------------------------------------
+    # API implemented by the user (paper Table 1, lower half)
+    # ------------------------------------------------------------------
+    def gen_key(
+        self, chunk: Chunk, data: np.ndarray, combination_map: KeyedMap
+    ) -> int:
+        """Generate the single key for a unit chunk.
+
+        Default: key 0 — single-reduction-object applications (e.g.
+        logistic regression) need not override.
+        """
+        return 0
+
+    def gen_keys(
+        self,
+        chunk: Chunk,
+        data: np.ndarray,
+        keys: list[int],
+        combination_map: KeyedMap,
+    ) -> None:
+        """Generate multiple keys for a unit chunk (``run2`` path).
+
+        Default: delegates to :meth:`gen_key`, so ``run2`` degrades to
+        ``run`` for single-key applications.
+        """
+        keys.append(self.gen_key(chunk, data, combination_map))
+
+    def accumulate(
+        self, chunk: Chunk, data: np.ndarray, red_obj: RedObj | None, key: int
+    ) -> RedObj:
+        """Accumulate the unit chunk onto a reduction object.
+
+        ``red_obj`` is ``None`` when the key has no object yet (and the
+        application does not seed reduction maps); implementations must
+        create and return one in that case.
+
+        Python adaptation note: the C++ API locates the object by key
+        before calling ``accumulate`` and passes only the object
+        reference; here the key is passed along too, which window
+        applications with key-dependent weights (Savitzky-Golay, Gaussian
+        kernel) use to know which window position they are contributing
+        to.
+        """
+        raise NotImplementedError
+
+    def merge(self, red_obj: RedObj, com_obj: RedObj) -> RedObj:
+        """Merge ``red_obj`` into ``com_obj``; return the combined object."""
+        raise NotImplementedError
+
+    def process_extra_data(self, extra_data: Any, combination_map: KeyedMap) -> None:
+        """Initialize the combination map from the extra input (optional)."""
+
+    def post_combine(self, combination_map: KeyedMap) -> None:
+        """Update reduction objects after the combination phase (optional)."""
+
+    def convert(self, red_obj: RedObj, out: np.ndarray, key: int) -> None:
+        """Write ``red_obj``'s final value into ``out`` at ``key`` (optional).
+
+        Required only when :meth:`run` is given an output array or when
+        early emission is used.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} received an output array but does not "
+            "implement convert()"
+        )
+
+    # Optional vectorized fast path -------------------------------------
+    def converged(self, combination_map: KeyedMap, iteration: int) -> bool:
+        """Early-termination test for iterative applications (optional).
+
+        Called after ``post_combine`` of every iteration with the
+        (globally combined, identical-on-all-ranks) combination map and
+        the 0-based iteration index.  Returning True ends the iteration
+        loop before ``SchedArgs.num_iters`` — e.g. k-means stopping once
+        centroids move less than a tolerance.  Because the map is
+        identical on every rank, any deterministic predicate keeps the
+        SPMD ranks in lockstep.  Default: never converge early.
+        """
+        return False
+
+    def vector_reduce(
+        self, data: np.ndarray, start: int, stop: int, red_map: KeyedMap
+    ) -> None:
+        """Numpy fast path equivalent to the chunk loop over ``[start, stop)``.
+
+        Applications may override; enabled via ``SchedArgs.vectorized``.
+        Must produce exactly the state the scalar loop would (tests in
+        this repository assert the equivalence for every bundled
+        application).
+        """
+        raise NotImplementedError
+
+    @property
+    def has_vector_path(self) -> bool:
+        return type(self).vector_reduce is not Scheduler.vector_reduce
+
+    # ------------------------------------------------------------------
+    # API provided by the runtime (paper Table 1, upper half)
+    # ------------------------------------------------------------------
+    def set_global_combination(self, flag: bool) -> None:
+        """Enable/disable global combination (enabled by default).
+
+        Disabling it turns this job into a per-partition preprocessing
+        stage whose local output feeds the next Smart job in a pipeline
+        (paper Section 3.1).
+        """
+        self._global_combination = bool(flag)
+
+    def get_combination_map(self) -> KeyedMap:
+        """The combination map (global result after a combined run)."""
+        return self.combination_map_
+
+    def feed(self, data: np.ndarray) -> None:
+        """Space-sharing producer call: copy one time-step's output in.
+
+        Blocks while the circular buffer is full, exactly like the paper's
+        producer/consumer coupling (Section 3.2).
+        """
+        arr = np.array(data, copy=True)  # space sharing requires its own copy
+        self._feed_buffer().put(arr)
+
+    def close_feed(self) -> None:
+        """Signal that no further time-steps will be fed."""
+        self._feed_buffer().close()
+
+    def run(
+        self,
+        data: np.ndarray | Sequence | None = None,
+        out: np.ndarray | None = None,
+        *,
+        global_offset: int | None = None,
+        total_len: int | None = None,
+    ) -> Any:
+        """Run the analytics, generating a single key per unit chunk.
+
+        Time sharing passes the simulation partition as ``data`` (the
+        runtime processes it through a read pointer — no copy unless
+        ``SchedArgs.copy_input``).  Space sharing passes ``data=None`` to
+        consume the next fed partition.
+
+        Returns ``out`` when provided, else the combination map.
+        """
+        return self._run_impl(data, out, False, global_offset, total_len)
+
+    def run2(
+        self,
+        data: np.ndarray | Sequence | None = None,
+        out: np.ndarray | None = None,
+        *,
+        global_offset: int | None = None,
+        total_len: int | None = None,
+    ) -> Any:
+        """Run the analytics, generating multiple keys per unit chunk.
+
+        The window-based applications use this path (``gen_keys`` maps an
+        element to every window position it contributes to).
+        """
+        return self._run_impl(data, out, True, global_offset, total_len)
+
+    def reset(self) -> None:
+        """Clear accumulated analytics state (combination map) and context.
+
+        Statistics are preserved; use :meth:`reset_stats` for those.
+        """
+        self.combination_map_ = KeyedMap()
+        self._extra_processed = False
+        self.data_ = None
+        self.out_ = None
+
+    def reset_stats(self) -> None:
+        self.stats = RunStats()
+
+    def current_state_nbytes(self) -> int:
+        """Approximate bytes held in the combination map right now."""
+        return self.combination_map_.state_nbytes()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _feed_buffer(self) -> CircularBuffer:
+        if self._fed is None:
+            self._fed = CircularBuffer(self.args.buffer_capacity)
+        return self._fed
+
+    def _resolve_layout(
+        self, n: int, global_offset: int | None, total_len: int | None, multi_key: bool
+    ) -> tuple[int, int]:
+        """Determine this partition's global offset and the global length.
+
+        Window-based (multi-key) analytics need positional context.  When
+        the caller does not supply it, it is derived collectively from the
+        partition sizes (an allgather), matching how in-situ partitions
+        are laid out rank by rank.
+        """
+        if global_offset is not None and total_len is not None:
+            return global_offset, total_len
+        if self.comm.size == 1:
+            return (global_offset or 0), (total_len if total_len is not None else n)
+        if not multi_key and global_offset is None and total_len is None:
+            # Single-key analytics never read positions globally.
+            return 0, n
+        sizes = self.comm.allgather(n)
+        offset = sum(sizes[: self.comm.rank]) if global_offset is None else global_offset
+        total = sum(sizes) if total_len is None else total_len
+        return offset, total
+
+    def _run_impl(
+        self,
+        data: np.ndarray | Sequence | None,
+        out: np.ndarray | None,
+        multi_key: bool,
+        global_offset: int | None,
+        total_len: int | None,
+    ) -> Any:
+        if data is None:
+            data = self._feed_buffer().get()
+        arr = np.asarray(data)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if self.args.copy_input:
+            # Fig. 9 comparison point: an implementation involving an
+            # extra copy of the simulation output.
+            arr = arr.copy()
+        n = int(arr.shape[0])
+        offset, total = self._resolve_layout(n, global_offset, total_len, multi_key)
+        self.data_ = arr
+        self.out_ = out
+        self.global_offset_ = offset
+        self.total_len_ = total
+        self.stats.runs += 1
+
+        args = self.args
+        self.process_extra_data(args.extra_data, self.combination_map_)
+
+        emitted: set[int] = set()
+        for iteration in range(args.num_iters):
+            self.stats.iterations_run += 1
+            red_maps = self._make_reduction_maps()
+            for bstart, bstop in iter_blocks(n, args.block_size):
+                splits = make_splits(bstart, bstop, args.num_threads, args.chunk_size)
+                if args.use_threads and args.num_threads > 1 and len(splits) > 1:
+                    with ThreadPoolExecutor(max_workers=args.num_threads) as pool:
+                        for keys in pool.map(
+                            lambda s: self._reduce_split(
+                                s, red_maps[s.thread_id], arr, out, multi_key
+                            ),
+                            splits,
+                        ):
+                            emitted.update(keys)
+                else:
+                    for split in splits:
+                        emitted.update(
+                            self._reduce_split(
+                                split, red_maps[split.thread_id], arr, out, multi_key
+                            )
+                        )
+                self.stats.observe_objects(
+                    sum(len(m) for m in red_maps) + len(self.combination_map_)
+                )
+            # Local combination: per-thread reduction maps fold into the
+            # local combination map (Algorithm 1 lines 11-17).
+            for red_map in red_maps:
+                self.combination_map_.merge_map(red_map, self.merge)
+            # Global combination + redistribution (lines 3-4 of the next
+            # iteration happen here as the broadcast back).
+            if self._global_combination and self.comm.size > 1:
+                self.combination_map_ = global_combine(
+                    self.comm, self.combination_map_, self.merge,
+                    algorithm=args.combine_algorithm,
+                )
+                self.stats.global_combinations += 1
+            self.post_combine(self.combination_map_)
+            self.stats.observe_objects(len(self.combination_map_))
+            if self.converged(self.combination_map_, iteration):
+                # The map is identical on all ranks after global
+                # combination, so every rank breaks together.
+                break
+
+        if out is not None:
+            out_len = out.shape[0]
+            for key, red_obj in self.combination_map_.sorted_items():
+                if 0 <= key < out_len and key not in emitted:
+                    self.convert(red_obj, out, key)
+            return out
+        return self.combination_map_
+
+    def _make_reduction_maps(self) -> list[KeyedMap]:
+        maps: list[KeyedMap] = []
+        for _ in range(self.args.num_threads):
+            if self.seed_reduction_maps:
+                maps.append(self.combination_map_.clone())
+            else:
+                maps.append(KeyedMap())
+        return maps
+
+    def _reduce_split(
+        self,
+        split: Split,
+        red_map: KeyedMap,
+        data: np.ndarray,
+        out: np.ndarray | None,
+        multi_key: bool,
+    ) -> list[int]:
+        """Reduce one split chunk by chunk (Algorithm 2); return emitted keys."""
+        if self.args.vectorized and self.has_vector_path:
+            return self._reduce_split_vectorized(split, red_map, data, out)
+        com_map = self.combination_map_
+        emitted: list[int] = []
+        key_buf: list[int] = []
+        # Hot loop: stats are batched per split and map writes skip the
+        # dict update when accumulate mutated the existing object in place
+        # (the overwhelmingly common case) — a measured ~25% win on the
+        # scalar path without changing semantics.
+        chunks_n = 0
+        accumulates_n = 0
+        allow_emission = not self.args.disable_early_emission
+        get_existing = red_map.get
+        for chunk in split.chunks(self.args.chunk_size):
+            chunks_n += 1
+            if multi_key:
+                key_buf.clear()
+                self.gen_keys(chunk, data, key_buf, com_map)
+                keys: Sequence[int] = key_buf
+            else:
+                keys = (self.gen_key(chunk, data, com_map),)
+            for key in keys:
+                existing = get_existing(key)
+                red_obj = self.accumulate(chunk, data, existing, key)
+                if red_obj is None:
+                    ensure_red_obj(red_obj)  # raises with guidance
+                if red_obj is not existing:
+                    red_map[key] = ensure_red_obj(red_obj)
+                accumulates_n += 1
+                if allow_emission and red_obj.trigger():
+                    # Early emission (Algorithm 2 lines 5-7).
+                    if out is not None:
+                        self.convert(red_obj, out, key)
+                    del red_map[key]
+                    emitted.append(key)
+        self.stats.chunks_processed += chunks_n
+        self.stats.accumulate_calls += accumulates_n
+        self.stats.early_emissions += len(emitted)
+        return emitted
+
+    def _reduce_split_vectorized(
+        self,
+        split: Split,
+        red_map: KeyedMap,
+        data: np.ndarray,
+        out: np.ndarray | None,
+    ) -> list[int]:
+        """Vectorized fast path: app-provided bulk reduction + trigger sweep."""
+        self.vector_reduce(data, split.start, split.stop, red_map)
+        n_chunks = -(-len(split) // self.args.chunk_size)
+        self.stats.chunks_processed += n_chunks
+        self.stats.accumulate_calls += n_chunks
+        emitted: list[int] = []
+        if self.args.disable_early_emission:
+            return emitted
+        for key in [k for k, obj in red_map.items() if obj.trigger()]:
+            if out is not None:
+                self.convert(red_map[key], out, key)
+            del red_map[key]
+            emitted.append(key)
+        self.stats.early_emissions += len(emitted)
+        return emitted
+
+
+def merge_distributed_output(comm: Communicator, out: np.ndarray) -> np.ndarray:
+    """Assemble a complete output array from per-rank partial outputs.
+
+    Window-based analytics with early emission write most results into the
+    local output of the rank that owned the window (paper Section 4.2);
+    only boundary keys flow through global combination.  This helper
+    gathers every rank's partial output — positions a rank did not write
+    must be NaN — and overlays them.  Every rank receives the full array.
+    """
+    if comm.size == 1:
+        return out
+    partials = comm.allgather(out)
+    merged = np.array(partials[0], copy=True)
+    for partial in partials[1:]:
+        mask = ~np.isnan(partial)
+        merged[mask] = partial[mask]
+    return merged

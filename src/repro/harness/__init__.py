@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+``python -m repro.harness fig7`` prints Figure 7's rows; ``all`` runs the
+whole evaluation.  Each ``figNN`` module documents what is measured on
+this host versus replayed through the calibrated cluster model.
+"""
+
+from .figures import FIGURES, run_all, run_figure
+from .programmability import ProgrammabilityRow, compare, default_rows
+from .reporting import (
+    format_bytes,
+    format_ratio,
+    format_seconds,
+    print_series,
+    print_table,
+)
+
+__all__ = [
+    "FIGURES",
+    "ProgrammabilityRow",
+    "compare",
+    "default_rows",
+    "format_bytes",
+    "format_ratio",
+    "format_seconds",
+    "print_series",
+    "print_table",
+    "run_all",
+    "run_figure",
+]

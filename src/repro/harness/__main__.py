@@ -1,0 +1,27 @@
+"""Command-line entry point: ``python -m repro.harness [fig1|...|fig11|all]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .figures import FIGURES, run_all, run_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help"):
+        print("usage: python -m repro.harness <figure> [figure ...] | all")
+        print("\navailable figures:")
+        for name, (_, description) in FIGURES.items():
+            print(f"  {name:7s} {description}")
+        return 0
+    if args == ["all"]:
+        run_all()
+        return 0
+    for name in args:
+        run_figure(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

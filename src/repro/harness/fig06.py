@@ -1,0 +1,140 @@
+"""Figure 6: Smart vs. hand-written low-level analytics (+ Section 5.3 LoC).
+
+The paper runs k-means and logistic regression over 1 TB on 8-64 nodes
+and finds Smart within 9% (k-means) / indistinguishable (LR) of manual
+MPI/OpenMP code, the difference being the serialization of noncontiguous
+reduction objects during global combination.
+
+Here the per-node compute is **measured** (Smart's vectorized kernel vs.
+the low-level numpy kernel on identical data) and the node axis enters
+through the **modeled** synchronization term: Smart serializes its
+combination map (measured payload) through a gather+bcast tree, the
+low-level code allreduces one contiguous buffer.  The Section 5.3
+programmability table is computed from this repository's own sources.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analytics import KMeans, LogisticRegression
+from ..baselines.lowlevel import lowlevel_kmeans, lowlevel_logreg
+from ..core import SchedArgs
+from ..core.serialization import serialize_map
+from ..perfmodel import MULTICORE_CLUSTER, collective_seconds
+from .programmability import default_rows
+from .reporting import format_seconds, print_table
+
+
+def _measure(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(
+    elements: int = 2_000_000,
+    nodes: tuple[int, ...] = (8, 16, 32, 64),
+    steps_equivalent: int = 100,
+) -> dict:
+    rng = np.random.default_rng(17)
+    machine = MULTICORE_CLUSTER
+    results: dict[str, dict] = {}
+
+    # ---------------- k-means: k=8, 10 iters, 64 dims --------------------
+    dims, k, iters = 64, 8, 10
+    points = rng.normal(size=(max(elements // dims, 512), dims))
+    flat = points.reshape(-1)
+    init = points[:k].copy()
+    km = KMeans(
+        SchedArgs(chunk_size=dims, num_iters=iters, extra_data=init, vectorized=True),
+        dims=dims,
+    )
+    t_smart = _measure(lambda: (km.reset(), km.run(flat)))
+    t_low = _measure(lambda: lowlevel_kmeans(flat, init, iters))
+    smart_payload = float(len(serialize_map(km.get_combination_map())))
+    low_payload = float((k * dims + k) * 8)
+    results["kmeans"] = dict(
+        smart_compute=t_smart, low_compute=t_low,
+        smart_payload=smart_payload, low_payload=low_payload, passes=iters,
+    )
+
+    # ---------------- logistic regression: 10 iters, 15 dims -------------
+    dims, iters = 15, 10
+    X = rng.normal(size=(max(elements // (dims + 1), 512), dims))
+    y = (rng.random(X.shape[0]) < 0.5).astype(np.float64)
+    flat = np.concatenate([X, y[:, None]], axis=1).reshape(-1)
+    lr = LogisticRegression(
+        SchedArgs(chunk_size=dims + 1, num_iters=iters, vectorized=True), dims=dims
+    )
+    t_smart = _measure(lambda: (lr.reset(), lr.run(flat)))
+    t_low = _measure(lambda: lowlevel_logreg(flat, dims, iters))
+    results["logistic_regression"] = dict(
+        smart_compute=t_smart, low_compute=t_low,
+        smart_payload=float(len(serialize_map(lr.get_combination_map()))),
+        low_payload=float((dims + 1) * 8), passes=iters,
+    )
+
+    # ---------------- per-node-count overhead table ----------------------
+    rows = []
+    overheads: dict[str, dict[int, float]] = {}
+    for app, r in results.items():
+        overheads[app] = {}
+        for n in nodes:
+            smart_sync = (
+                r["passes"]
+                * steps_equivalent
+                * collective_seconds(machine, n, r["smart_payload"])
+            )
+            low_sync = (
+                r["passes"]
+                * steps_equivalent
+                * collective_seconds(machine, n, r["low_payload"])
+            )
+            smart_total = r["smart_compute"] * steps_equivalent + smart_sync
+            low_total = r["low_compute"] * steps_equivalent + low_sync
+            overhead = 100.0 * (smart_total - low_total) / low_total
+            overheads[app][n] = overhead
+            rows.append(
+                [
+                    app,
+                    n,
+                    format_seconds(smart_total),
+                    format_seconds(low_total),
+                    f"{overhead:+.1f}%",
+                ]
+            )
+    print_table(
+        "Figure 6: Smart vs hand-written low-level analytics "
+        "(measured compute x modeled sync; paper: <= 9% overhead)",
+        ["app", "nodes", "Smart", "low-level", "Smart overhead"],
+        rows,
+    )
+
+    # ---------------- Section 5.3 programmability -------------------------
+    prog_rows = []
+    for row in default_rows():
+        prog_rows.append(
+            [
+                row.app,
+                row.lowlevel_total,
+                row.lowlevel_parallel,
+                row.smart_total,
+                row.smart_parallel,
+                f"{row.eliminated_or_sequentialized_pct:.0f}%",
+            ]
+        )
+    print_table(
+        "Section 5.3 programmability: parallel-aware lines eliminated or "
+        "sequentialized by Smart (paper: 55%/69% of its verbose C++ MPI/OpenMP "
+        "code; numpy baselines are already compact, so our % is lower)",
+        ["app", "low LoC", "low parallel LoC", "Smart LoC", "Smart parallel LoC", "eliminated"],
+        prog_rows,
+    )
+    results["overheads"] = overheads
+    return results

@@ -1,0 +1,96 @@
+"""Figure 7: node scaling on Heat3D (4-32 nodes, 8 threads, 1 TB, 100 steps).
+
+The paper reports 93% average parallel efficiency across the nine
+applications, with super-linear blips where adding nodes relieves memory
+pressure.  This harness replays the calibrated per-element costs through
+the cluster model over the paper's exact sweep.
+"""
+
+from __future__ import annotations
+
+from ..perfmodel import MULTICORE_CLUSTER, NodeWorkload, model_time_sharing, parallel_efficiency
+from .profiles import ALL_NINE, SECTION54_PASSES, app_model, sim_model
+from .reporting import format_seconds, print_table
+
+TOTAL_BYTES = 1e12  # 1 TB
+NUM_STEPS = 100
+THREADS = 8
+
+
+def run(nodes: tuple[int, ...] = (4, 8, 16, 32)) -> dict:
+    machine = MULTICORE_CLUSTER
+    heat3d = sim_model("heat3d")
+    results: dict[str, dict[int, float]] = {}
+    efficiencies: dict[str, dict[int, float]] = {}
+
+    for app_name in ALL_NINE:
+        app = app_model(app_name, passes=SECTION54_PASSES[app_name])
+        times: dict[int, float] = {}
+        for n in nodes:
+            workload = NodeWorkload.from_total(TOTAL_BYTES, NUM_STEPS, n)
+            pred = model_time_sharing(machine, n, THREADS, workload, heat3d, app)
+            times[n] = pred.total_seconds
+        results[app_name] = times
+        base = nodes[0]
+        efficiencies[app_name] = {
+            n: parallel_efficiency(base, times[base], n, times[n]) for n in nodes
+        }
+
+    rows = []
+    for app_name in ALL_NINE:
+        row: list = [app_name]
+        for n in nodes:
+            row.append(format_seconds(results[app_name][n]))
+        for n in nodes:
+            row.append(f"{efficiencies[app_name][n]:.2f}")
+        rows.append(row)
+    headers = (
+        ["app"]
+        + [f"T({n}n)" for n in nodes]
+        + [f"eff({n}n)" for n in nodes]
+    )
+    print_table(
+        "Figure 7: in-situ processing time scaling nodes on Heat3D "
+        f"(modeled from calibrated kernels; 1 TB, {NUM_STEPS} steps, 8 threads)",
+        headers,
+        rows,
+    )
+    all_eff = [
+        efficiencies[a][n] for a in ALL_NINE for n in nodes if n != nodes[0]
+    ]
+    avg = sum(all_eff) / len(all_eff)
+    print(f"average parallel efficiency: {avg:.2%} (paper: 93%)")
+
+    # Super-linearity demonstration (paper: "an extra speedup caused by
+    # the reduction in memory requirements per node"): the same sweep with
+    # a memory-pressured baseline configuration (the original Heat3D's
+    # ~5x working set, Fig. 9a's fitted factor).
+    pressured_sim = sim_model("heat3d", memory_factor=5.0)
+    app = app_model("histogram")
+    pressured: dict[int, float] = {}
+    rows2 = []
+    for n in nodes:
+        workload = NodeWorkload.from_total(TOTAL_BYTES, NUM_STEPS, n)
+        pred = model_time_sharing(machine, n, THREADS, workload, pressured_sim, app)
+        pressured[n] = pred.total_seconds
+    for n in nodes[1:]:
+        half_ratio = pressured[n // 2] / pressured[n] if n // 2 in pressured else None
+        rows2.append(
+            [
+                n,
+                format_seconds(pressured[n]),
+                f"{half_ratio:.2f}" if half_ratio else "-",
+            ]
+        )
+    print_table(
+        "Figure 7 super-linearity demo: histogram with a memory-pressured "
+        "baseline (doubling nodes gains >2x while pressure persists)",
+        ["nodes", "total time", "speedup vs half the nodes"],
+        rows2,
+    )
+    return {
+        "times": results,
+        "efficiency": efficiencies,
+        "average_efficiency": avg,
+        "pressured": pressured,
+    }

@@ -1,0 +1,65 @@
+"""Figure 8: thread scaling on Lulesh (64 nodes, 1-8 threads, 1 TB, 93 steps).
+
+The paper reports 59% average parallel efficiency for the first five
+applications and 79% for the four window-based ones — the window
+applications being more compute-intensive, synchronization weighs less
+and they scale better.  The model reproduces that separation directly
+from the calibrated per-element costs.
+"""
+
+from __future__ import annotations
+
+from ..perfmodel import MULTICORE_CLUSTER, NodeWorkload, model_time_sharing
+from .profiles import ALL_NINE, FIRST_FIVE, SECTION54_PASSES, WINDOW_FOUR, app_model, sim_model
+from .reporting import format_seconds, print_table
+
+TOTAL_BYTES = 1e12
+NUM_STEPS = 93
+NODES = 64
+
+
+def run(threads: tuple[int, ...] = (1, 2, 4, 8)) -> dict:
+    machine = MULTICORE_CLUSTER
+    lulesh = sim_model("lulesh")
+    workload = NodeWorkload.from_total(TOTAL_BYTES, NUM_STEPS, NODES)
+    times: dict[str, dict[int, float]] = {}
+    eff: dict[str, dict[int, float]] = {}
+
+    for app_name in ALL_NINE:
+        app = app_model(app_name, passes=SECTION54_PASSES[app_name])
+        times[app_name] = {}
+        for t in threads:
+            pred = model_time_sharing(machine, NODES, t, workload, lulesh, app)
+            times[app_name][t] = pred.total_seconds
+        base = threads[0]
+        eff[app_name] = {
+            t: times[app_name][base] / (times[app_name][t] * t) for t in threads
+        }
+
+    rows = []
+    for app_name in ALL_NINE:
+        row: list = [app_name]
+        row.extend(format_seconds(times[app_name][t]) for t in threads)
+        row.extend(f"{eff[app_name][t]:.2f}" for t in threads)
+        rows.append(row)
+    headers = ["app"] + [f"T({t}t)" for t in threads] + [f"eff({t}t)" for t in threads]
+    print_table(
+        "Figure 8: in-situ processing time scaling threads on Lulesh "
+        f"(modeled; 1 TB, {NUM_STEPS} steps, {NODES} nodes)",
+        headers,
+        rows,
+    )
+
+    t_max = threads[-1]
+    first_five = sum(eff[a][t_max] for a in FIRST_FIVE) / len(FIRST_FIVE)
+    window = sum(eff[a][t_max] for a in WINDOW_FOUR) / len(WINDOW_FOUR)
+    print(
+        f"avg efficiency at {t_max} threads - first five: {first_five:.0%} "
+        f"(paper 59%), window-based: {window:.0%} (paper 79%)"
+    )
+    return {
+        "times": times,
+        "efficiency": eff,
+        "first_five_avg": first_five,
+        "window_avg": window,
+    }

@@ -1,0 +1,73 @@
+"""ASCII table/series reporting for the experiment harness.
+
+Every figure harness prints the same rows/series the paper's figure
+shows, via these helpers, and returns the underlying numbers for tests
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    if math.isinf(seconds):
+        return "CRASH"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60:.1f}min"
+
+
+def format_bytes(nbytes: float) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_ratio(ratio: float) -> str:
+    if math.isinf(ratio):
+        return "inf"
+    return f"{ratio:.2f}x"
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    min_width: int = 8,
+) -> None:
+    """Print an aligned ASCII table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    bar = "-+-".join("-" * w for w in widths)
+    print(f"\n== {title} ==")
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print(bar)
+    for row in rendered:
+        print(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(title: str, x_label: str, series: dict[str, dict[Any, float]]) -> None:
+    """Print multiple named series sharing an x axis (a line-plot figure)."""
+    xs: list[Any] = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[Any] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("-" if value is None else format_seconds(value))
+        rows.append(row)
+    print_table(title, headers, rows)

@@ -1,0 +1,112 @@
+"""Cluster machine models (the paper's two evaluation platforms).
+
+The scalability figures (7-10) ran on clusters this environment does not
+have; the performance model replays measured per-element kernel costs on
+these machine descriptions (see DESIGN.md section 1's substitution
+table).  Numbers for the two clusters come from paper Section 5.1;
+network parameters are standard InfiniBand-era values for such systems
+(the figures' *shapes* are insensitive to their exact magnitude — they
+enter only the synchronization term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One cluster node type plus its interconnect.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in harness output.
+    cores_per_node:
+        Usable compute cores per node.
+    clock_ghz:
+        Core clock; per-element kernel costs scale inversely with it
+        (relative to the calibration host's assumed clock).
+    core_efficiency:
+        Per-clock throughput of one core relative to a calibration-host
+        core (Xeon Phi cores are in-order and much narrower — the paper's
+        simulations 'may not be able to use all available cores
+        effectively' there).
+    mem_bytes:
+        Physical memory per node (12 GB multicore / 8 GB Phi,
+        Section 5.1).
+    net_latency_s / net_bandwidth_bps:
+        Alpha-beta interconnect model parameters for collectives.
+    sim_parallel_fraction / analytics_parallel_fraction:
+        Amdahl fractions for thread scaling of simulation and analytics
+        code on this node type; the Phi's low simulation fraction is the
+        premise of space-sharing mode (Section 3.2).
+    """
+
+    name: str
+    cores_per_node: int
+    clock_ghz: float
+    core_efficiency: float
+    mem_bytes: int
+    net_latency_s: float
+    net_bandwidth_bps: float
+    sim_parallel_fraction: float
+    analytics_parallel_fraction: float
+    #: Straggler/imbalance amplification: steps finish when the slowest
+    #: rank does, and the expected maximum over n ranks grows ~log n.
+    #: Multiplies step time by (1 + coeff * log2(nodes)).
+    imbalance_coeff: float = 0.04
+    #: Sustained memcpy bandwidth for the extra-copy variant (Fig. 9).
+    copy_bandwidth_bps: float = 4.0e9
+
+    def thread_speedup(self, threads: int, parallel_fraction: float) -> float:
+        """Amdahl speedup of ``threads`` threads on this node."""
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        threads = min(threads, self.cores_per_node)
+        f = parallel_fraction
+        return 1.0 / ((1.0 - f) + f / threads)
+
+    def core_seconds_scale(self, calibration_clock_ghz: float) -> float:
+        """Convert calibration-host seconds to this machine's seconds."""
+        return (calibration_clock_ghz / self.clock_ghz) / self.core_efficiency
+
+
+#: The multi-core cluster of Section 5.1: 8-core 2.53 GHz Xeon nodes,
+#: 12 GB memory, up to 64 nodes (512 cores).
+MULTICORE_CLUSTER = MachineSpec(
+    name="xeon-multicore",
+    cores_per_node=8,
+    clock_ghz=2.53,
+    core_efficiency=1.0,
+    mem_bytes=12 * GIB,
+    net_latency_s=25e-6,
+    net_bandwidth_bps=1.25e9,  # ~10 Gb/s effective
+    sim_parallel_fraction=0.995,
+    analytics_parallel_fraction=0.997,
+    imbalance_coeff=0.04,
+    copy_bandwidth_bps=4.0e9,
+)
+
+#: The many-core cluster: Intel Xeon Phi SE10P, 61 cores at 1.1 GHz, 8 GB.
+#: One core is reserved for scheduling/communication (Section 5.6), and the
+#: simulation's parallel fraction is low enough that it stops scaling well
+#: before 60 threads — the space-sharing premise.
+XEON_PHI_CLUSTER = MachineSpec(
+    name="xeon-phi",
+    cores_per_node=60,
+    clock_ghz=1.1,
+    core_efficiency=0.35,
+    mem_bytes=8 * GIB,
+    net_latency_s=40e-6,
+    net_bandwidth_bps=0.9e9,
+    sim_parallel_fraction=0.94,
+    analytics_parallel_fraction=0.995,
+    imbalance_coeff=0.04,
+    copy_bandwidth_bps=3.0e9,
+)
+
+#: Assumed clock of the host this repository calibrates kernel costs on.
+CALIBRATION_CLOCK_GHZ = 2.5

@@ -1,0 +1,61 @@
+"""Memory-pressure model.
+
+Several of the paper's results are memory effects, not compute effects:
+
+* Fig. 7's super-linear scaling at 16 nodes ("caused by the reduction in
+  memory requirements per node as more compute nodes are used");
+* Fig. 9's cliff when the copying implementation approaches physical
+  capacity (and the crash at a 2 GB time-step / edge 233);
+* Fig. 11's crash without early emission.
+
+We model them with a standard smooth-pressure curve: below a pressure
+threshold the node runs at full speed; between the threshold and
+capacity, paging/allocator pressure multiplies runtime smoothly; beyond
+capacity the configuration crashes (``MemoryCrash``), as the paper's runs
+did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class MemoryCrash(RuntimeError):
+    """The modeled working set exceeds node memory (paper: 'a crash')."""
+
+    def __init__(self, working_set: int, capacity: int):
+        self.working_set = working_set
+        self.capacity = capacity
+        super().__init__(
+            f"working set {working_set / 2**30:.2f} GiB exceeds node memory "
+            f"{capacity / 2**30:.2f} GiB"
+        )
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Pressure curve parameters.
+
+    ``threshold`` is the utilization where slowdown starts; ``severity``
+    is the multiplier reached exactly at capacity (a node at 100%
+    utilization runs ``1 + severity`` times slower than an unpressured
+    one — thrashing, not linear DRAM contention).
+    """
+
+    threshold: float = 0.70
+    severity: float = 4.0
+
+    def multiplier(self, working_set: int, capacity: int) -> float:
+        """Runtime multiplier for a node holding ``working_set`` bytes.
+
+        Raises :class:`MemoryCrash` when the working set does not fit.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        utilization = working_set / capacity
+        if utilization > 1.0:
+            raise MemoryCrash(working_set, capacity)
+        if utilization <= self.threshold:
+            return 1.0
+        x = (utilization - self.threshold) / (1.0 - self.threshold)
+        return 1.0 + self.severity * x * x

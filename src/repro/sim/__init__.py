@@ -1,0 +1,18 @@
+"""Simulation substrates: Heat3D, a LULESH-like proxy, and the emulator."""
+
+from .base import Simulation
+from .decomposition import Slab, decompose_1d, partition_offsets
+from .emulator import GaussianEmulator
+from .heat3d import Heat3D, reference_heat3d_sequential
+from .lulesh import LuleshProxy
+
+__all__ = [
+    "GaussianEmulator",
+    "Heat3D",
+    "LuleshProxy",
+    "Simulation",
+    "Slab",
+    "decompose_1d",
+    "partition_offsets",
+    "reference_heat3d_sequential",
+]

@@ -1,0 +1,65 @@
+"""Domain decomposition helpers.
+
+Both bundled simulations use 1-D slab decomposition along the leading
+(z) axis: rank *r* owns a contiguous band of planes, with one-plane halos
+exchanged with the neighbouring ranks each step.  These helpers compute
+the bands and validate them; the halo exchange itself lives with the
+simulations (it is two ``send``/``recv`` pairs over the communicator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Slab:
+    """Rank-local band ``[start, stop)`` of the decomposed axis."""
+
+    start: int
+    stop: int
+    axis_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.stop <= self.axis_len:
+            raise ValueError(
+                f"invalid slab [{self.start}, {self.stop}) of axis {self.axis_len}"
+            )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def has_lower_neighbor(self) -> bool:
+        return self.start > 0
+
+    @property
+    def has_upper_neighbor(self) -> bool:
+        return self.stop < self.axis_len
+
+
+def decompose_1d(axis_len: int, size: int, rank: int) -> Slab:
+    """Split ``axis_len`` planes into ``size`` near-equal contiguous slabs.
+
+    The first ``axis_len % size`` ranks receive one extra plane, matching
+    the usual MPI block distribution.  Every rank must receive at least
+    one plane.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range [0, {size})")
+    if axis_len < size:
+        raise ValueError(
+            f"cannot decompose {axis_len} planes over {size} ranks "
+            "(every rank needs at least one plane)"
+        )
+    base, extra = divmod(axis_len, size)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return Slab(start, stop, axis_len)
+
+
+def partition_offsets(axis_len: int, size: int) -> list[int]:
+    """Global start offsets (in planes) of every rank's slab."""
+    return [decompose_1d(axis_len, size, r).start for r in range(size)]

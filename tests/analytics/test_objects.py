@@ -1,0 +1,113 @@
+"""Reduction-object types: merge identities and trigger semantics."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    ClusterObj,
+    CountObj,
+    GradientObj,
+    HoldAllObj,
+    SavGolObj,
+    SumCountObj,
+    WeightedWindowObj,
+    WindowSumObj,
+)
+
+
+class TestCountAndSum:
+    def test_count_obj_defaults(self):
+        assert CountObj().count == 0
+        assert CountObj(5).count == 5
+
+    def test_sum_count_mean(self):
+        obj = SumCountObj(10.0, 4)
+        assert obj.mean == 2.5
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            SumCountObj().mean
+
+
+class TestWindowObjects:
+    def test_window_sum_trigger_at_exact_coverage(self):
+        obj = WindowSumObj(3)
+        for i in range(2):
+            obj.total += 1.0
+            obj.count += 1
+            assert not obj.trigger()
+        obj.count += 1
+        assert obj.trigger()
+
+    def test_weighted_window_trigger(self):
+        obj = WeightedWindowObj(2)
+        obj.count = 2
+        assert obj.trigger()
+
+    def test_holdall_preserves_positional_order(self):
+        obj = HoldAllObj(5)
+        obj.add(7, 70.0)
+        obj.add(3, 30.0)
+        obj.add(5, 50.0)
+        assert list(obj.sorted_values()) == [30.0, 50.0, 70.0]
+
+    def test_holdall_extend_merges(self):
+        a, b = HoldAllObj(4), HoldAllObj(4)
+        a.add(0, 1.0)
+        b.add(1, 2.0)
+        a.extend(b)
+        assert a.count == 2
+        assert a.trigger() is False
+
+    def test_savgol_boundary_objects_never_trigger(self):
+        obj = SavGolObj(5, boundary=True)
+        obj.count = 5
+        assert not obj.trigger()
+        interior = SavGolObj(5, boundary=False)
+        interior.count = 5
+        assert interior.trigger()
+
+
+class TestIterativeObjects:
+    def test_cluster_update_recomputes_and_resets(self):
+        obj = ClusterObj(np.array([0.0, 0.0]))
+        obj.vec_sum[:] = [4.0, 8.0]
+        obj.size = 4
+        obj.update()
+        assert np.array_equal(obj.centroid, [1.0, 2.0])
+        assert obj.size == 0
+        assert np.array_equal(obj.vec_sum, [0.0, 0.0])
+
+    def test_empty_cluster_update_keeps_centroid(self):
+        obj = ClusterObj(np.array([3.0, 4.0]))
+        obj.update()
+        assert np.array_equal(obj.centroid, [3.0, 4.0])
+
+    def test_gradient_obj_copies_weights(self):
+        w = np.zeros(3)
+        obj = GradientObj(w)
+        w[:] = 9.0
+        assert np.array_equal(obj.weights, np.zeros(3))
+
+    def test_identity_contract_after_reset(self):
+        """The seeding contract: mergeable fields at identity after reset
+        means merging k clones adds nothing."""
+        base = ClusterObj(np.array([1.0, 1.0]))
+        base.update()  # mergeable fields now at identity
+        total = base.clone()
+        for _ in range(3):
+            clone = base.clone()
+            total.vec_sum += clone.vec_sum
+            total.size += clone.size
+        assert total.size == 0
+        assert np.array_equal(total.vec_sum, [0.0, 0.0])
+
+
+class TestFootprints:
+    def test_nbytes_ordering_matches_design(self):
+        # Θ(1) algebraic objects are far smaller than Θ(W) holistic ones.
+        small = WindowSumObj(25)
+        big = HoldAllObj(25)
+        for i in range(25):
+            big.add(i, float(i))
+        assert big.nbytes() > 3 * small.nbytes()

@@ -1,0 +1,160 @@
+"""Mini-Spark engine: RDD semantics, shuffle, and structural costs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.minispark import (
+    MiniSparkContext,
+    Serializer,
+    ShuffleStats,
+    shuffle_read,
+    shuffle_write,
+)
+
+
+@pytest.fixture
+def ctx():
+    with MiniSparkContext(2) as context:
+        yield context
+
+
+class TestRDDBasics:
+    def test_parallelize_partitions(self, ctx):
+        rdd = ctx.parallelize(range(10), num_partitions=3)
+        assert rdd.num_partitions == 3
+        assert rdd.collect() == list(range(10))
+
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_flatMap(self, ctx):
+        rdd = ctx.parallelize([1, 2]).flatMap(lambda x: [x] * x)
+        assert rdd.collect() == [1, 2, 2]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_mapPartitions(self, ctx):
+        rdd = ctx.parallelize(range(8), 2).mapPartitions(lambda p: [sum(p)])
+        assert sum(rdd.collect()) == 28
+
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(17)).count() == 17
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(5)).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_reduce_with_empty_partitions(self, ctx):
+        # 2 elements over 4 partitions leaves empties; reduce must skip them.
+        assert ctx.parallelize([3, 4], num_partitions=4).reduce(lambda a, b: a + b) == 7
+
+
+class TestShuffles:
+    def test_reduceByKey(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        result = dict(
+            ctx.parallelize(pairs, 2).reduceByKey(lambda a, b: a + b).collect()
+        )
+        assert result == {"a": 4, "b": 6}
+
+    def test_groupByKey(self, ctx):
+        pairs = [(1, "x"), (2, "y"), (1, "z")]
+        grouped = dict(ctx.parallelize(pairs, 2).groupByKey().collect())
+        assert sorted(grouped[1]) == ["x", "z"]
+        assert grouped[2] == ["y"]
+
+    def test_shuffle_serializes_even_locally(self, ctx):
+        before = ctx.serializer.bytes_serialized
+        ctx.parallelize([(i % 3, 1) for i in range(30)], 2).reduceByKey(
+            lambda a, b: a + b
+        ).collect()
+        assert ctx.serializer.bytes_serialized > before
+
+    def test_chained_shuffles(self, ctx):
+        pairs = [(i % 4, 1) for i in range(40)]
+        first = ctx.parallelize(pairs, 2).reduceByKey(lambda a, b: a + b)
+        doubled = first.map(lambda kv: (kv[0] % 2, kv[1]))
+        result = dict(doubled.reduceByKey(lambda a, b: a + b).collect())
+        assert result == {0: 20, 1: 20}
+
+    def test_compute_before_action_rejected(self, ctx):
+        shuffled = ctx.parallelize([(1, 1)]).reduceByKey(lambda a, b: a + b)
+        with pytest.raises(RuntimeError, match="prepared"):
+            shuffled.compute(0)
+
+
+class TestStructuralCosts:
+    def test_every_transformation_creates_a_new_rdd(self, ctx):
+        base = ctx.rdd_count
+        rdd = ctx.parallelize([1, 2, 3])
+        rdd2 = rdd.map(lambda x: x)
+        rdd3 = rdd2.filter(lambda x: True)
+        rdd4 = rdd3.map(lambda x: (x, 1)).reduceByKey(lambda a, b: a + b)
+        assert ctx.rdd_count - base == 5
+        assert rdd4 is not rdd
+
+    def test_shuffle_stats_track_pairs(self, ctx):
+        rdd = ctx.parallelize([(i % 5, 1) for i in range(100)], 2)
+        shuffled = rdd.reduceByKey(lambda a, b: a + b)
+        shuffled.collect()
+        assert shuffled.stats.pairs_emitted == 100
+        assert shuffled.stats.peak_pairs_in_flight > 0
+
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize([1, 2, 3, 4], 2).map(probe).cache()
+        rdd.collect()
+        first = len(calls)
+        rdd.collect()
+        assert len(calls) == first  # second action served from cache
+
+    def test_materialization_audited(self, ctx):
+        ctx.parallelize(range(1000), 2).map(lambda x: x).collect()
+        assert ctx.peak_partition_elements >= 500
+        assert ctx.total_elements_materialized >= 1000
+
+    def test_broadcast_round_trips_through_serializer(self, ctx):
+        before = ctx.serializer.serialize_calls
+        bc = ctx.broadcast({"weights": [1.0, 2.0]})
+        assert bc.value == {"weights": [1.0, 2.0]}
+        assert ctx.serializer.serialize_calls > before
+
+
+class TestShuffleFunctions:
+    def test_write_read_round_trip(self):
+        ser = Serializer()
+        stats = ShuffleStats()
+        buckets = shuffle_write([(k, k * 10) for k in range(6)], 3, ser, stats)
+        assert len(buckets) == 3
+        merged = shuffle_read(buckets, ser)
+        assert {k: v[0] for k, v in merged.items()} == {k: k * 10 for k in range(6)}
+
+    def test_bucketing_is_by_hash(self):
+        ser = Serializer()
+        buckets = shuffle_write([(0, "a"), (3, "b")], 3, ser)
+        grouped = shuffle_read([buckets[0]], ser)
+        assert set(grouped) == {0, 3}  # both hash to bucket 0 of 3
+
+    def test_invalid_reducer_count(self):
+        with pytest.raises(ValueError):
+            shuffle_write([], 0, Serializer())
+
+
+class TestContextValidation:
+    def test_worker_count(self):
+        with pytest.raises(ValueError):
+            MiniSparkContext(0)
+
+    def test_single_worker_runs_inline(self):
+        with MiniSparkContext(1) as c:
+            assert c.parallelize([1, 2], 2).collect() == [1, 2]

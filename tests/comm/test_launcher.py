@@ -1,0 +1,43 @@
+"""spmd_launch behaviour."""
+
+import pytest
+
+from repro.comm import Communicator, LocalComm, SimComm, spmd_launch
+
+
+class TestLaunch:
+    def test_single_rank_uses_local_comm(self):
+        [comm_type] = spmd_launch(1, lambda c: type(c))
+        assert comm_type is LocalComm
+
+    def test_multi_rank_uses_sim_comm(self):
+        types = spmd_launch(2, lambda c: type(c), timeout=30)
+        assert types == [SimComm, SimComm]
+
+    def test_first_argument_is_communicator(self):
+        results = spmd_launch(2, lambda c: isinstance(c, Communicator), timeout=30)
+        assert results == [True, True]
+
+    def test_args_per_rank(self):
+        results = spmd_launch(
+            3, lambda c, x, y: (c.rank, x + y),
+            args_per_rank=[(1, 2), (3, 4), (5, 6)],
+            timeout=30,
+        )
+        assert results == [(0, 3), (1, 7), (2, 11)]
+
+    def test_args_per_rank_length_checked(self):
+        with pytest.raises(ValueError):
+            spmd_launch(3, lambda c: None, args_per_rank=[()])
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            spmd_launch(0, lambda c: None)
+
+    def test_single_rank_exception_propagates_directly(self):
+        # No SpmdError wrapping for the in-thread single-rank path.
+        with pytest.raises(ZeroDivisionError):
+            spmd_launch(1, lambda c: 1 / 0)
+
+    def test_single_rank_args(self):
+        assert spmd_launch(1, lambda c, v: v * 2, args_per_rank=[(21,)]) == [42]

@@ -1,0 +1,39 @@
+"""MPI backend shim: importable without mpi4py, clear error when used."""
+
+import pytest
+
+from repro.comm.mpi import MpiComm, MpiNotAvailable, world_comm
+
+
+def _mpi4py_available() -> bool:
+    try:
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+class TestWithoutMpi4py:
+    @pytest.mark.skipif(_mpi4py_available(), reason="mpi4py installed here")
+    def test_module_imports_without_mpi4py(self):
+        # Reaching this test proves the import side already.
+        assert MpiComm is not None
+
+    @pytest.mark.skipif(_mpi4py_available(), reason="mpi4py installed here")
+    def test_world_comm_raises_actionable_error(self):
+        with pytest.raises(MpiNotAvailable, match="pip install mpi4py"):
+            world_comm()
+
+    @pytest.mark.skipif(_mpi4py_available(), reason="mpi4py installed here")
+    def test_constructor_raises_without_mpi4py(self):
+        with pytest.raises(MpiNotAvailable):
+            MpiComm(object())
+
+
+@pytest.mark.skipif(not _mpi4py_available(), reason="mpi4py not installed")
+class TestWithMpi4py:  # pragma: no cover - exercised only on MPI hosts
+    def test_world_comm_single_rank(self):
+        comm = world_comm()
+        assert comm.size >= 1
+        assert comm.allreduce(1) == comm.size

@@ -1,0 +1,80 @@
+"""Nonblocking point-to-point API (isend/irecv/sendrecv)."""
+
+import pytest
+
+from repro.comm import LocalComm, Request, spmd_launch
+
+
+class TestRequest:
+    def test_completed_request(self):
+        req = Request._completed("value")
+        assert req.test() == (True, "value")
+        assert req.wait() == "value"
+
+    def test_deferred_resolves_once(self):
+        calls = []
+
+        def resolve():
+            calls.append(1)
+            return 42
+
+        req = Request._deferred(resolve)
+        assert req.test() == (False, None)
+        assert req.wait() == 42
+        assert req.wait() == 42  # second wait must not re-resolve
+        assert calls == [1]
+
+
+class TestLocalNonblocking:
+    def test_isend_then_irecv(self):
+        comm = LocalComm()
+        send_req = comm.isend({"k": 1}, dest=0, tag=5)
+        assert send_req.wait() is None
+        recv_req = comm.irecv(source=0, tag=5)
+        assert recv_req.wait() == {"k": 1}
+
+    def test_sendrecv_self(self):
+        comm = LocalComm()
+        assert comm.sendrecv("x", dest=0, source=0) == "x"
+
+
+class TestDistributedNonblocking:
+    def test_ring_with_posted_receives(self):
+        """The MPI idiom: post irecv before sending, then wait."""
+
+        def body(comm):
+            left = (comm.rank - 1) % comm.size
+            right = (comm.rank + 1) % comm.size
+            recv_req = comm.irecv(source=left, tag=7)
+            comm.isend(comm.rank * 2, dest=right, tag=7)
+            return recv_req.wait()
+
+        assert spmd_launch(4, body, timeout=30) == [6, 0, 2, 4]
+
+    def test_sendrecv_pairwise_exchange(self):
+        def body(comm):
+            partner = comm.size - 1 - comm.rank
+            return comm.sendrecv(comm.rank, dest=partner, source=partner)
+
+        assert spmd_launch(4, body, timeout=30) == [3, 2, 1, 0]
+
+    def test_sendrecv_distinct_tags(self):
+        def body(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            got = comm.sendrecv(f"from{comm.rank}", dest=nxt, source=prv,
+                                sendtag=11, recvtag=11)
+            return got
+
+        assert spmd_launch(3, body, timeout=30) == ["from2", "from0", "from1"]
+
+    def test_multiple_outstanding_irecvs_fifo(self):
+        def body(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    comm.isend(i, dest=1, tag=2)
+                return None
+            reqs = [comm.irecv(source=0, tag=2) for _ in range(3)]
+            return [r.wait() for r in reqs]
+
+        assert spmd_launch(2, body, timeout=30)[1] == [0, 1, 2]

@@ -1,0 +1,111 @@
+"""split_comm / GroupComm: MPI_Comm_split semantics."""
+
+import pytest
+
+from repro.comm import GroupComm, spmd_launch, split_comm
+
+
+class TestSplit:
+    def test_two_colors(self):
+        def body(comm):
+            color = "even" if comm.rank % 2 == 0 else "odd"
+            group = split_comm(comm, color)
+            return (color, group.rank, group.size, group.allreduce(comm.rank))
+
+        results = spmd_launch(5, body, timeout=30)
+        evens = [r for r in results if r[0] == "even"]
+        odds = [r for r in results if r[0] == "odd"]
+        assert [r[1] for r in evens] == [0, 1, 2]
+        assert all(r[2] == 3 for r in evens)
+        assert all(r[3] == 0 + 2 + 4 for r in evens)
+        assert [r[1] for r in odds] == [0, 1]
+        assert all(r[3] == 1 + 3 for r in odds)
+
+    def test_undefined_color_gets_none(self):
+        def body(comm):
+            group = split_comm(comm, "a" if comm.rank == 0 else None)
+            return group if group is None else group.size
+
+        results = spmd_launch(3, body, timeout=30)
+        assert results == [1, None, None]
+
+    def test_key_reorders_ranks(self):
+        def body(comm):
+            # Reverse ordering within the single group.
+            group = split_comm(comm, "all", key=-comm.rank)
+            return group.rank
+
+        assert spmd_launch(4, body, timeout=30) == [3, 2, 1, 0]
+
+    def test_groups_communicate_independently(self):
+        def body(comm):
+            group = split_comm(comm, comm.rank % 2)
+            # Both groups run a full collective round concurrently.
+            total = group.allreduce(1)
+            gathered = group.gather(comm.rank)
+            group.barrier()
+            return total, gathered
+
+        results = spmd_launch(6, body, timeout=30)
+        for rank, (total, gathered) in enumerate(results):
+            assert total == 3
+            if gathered is not None:  # group root
+                assert gathered == [rank, rank + 2, rank + 4]
+
+    def test_point_to_point_with_group_ranks(self):
+        def body(comm):
+            group = split_comm(comm, "all")
+            nxt = (group.rank + 1) % group.size
+            prv = (group.rank - 1) % group.size
+            return group.sendrecv(group.rank, dest=nxt, source=prv)
+
+        assert spmd_launch(3, body, timeout=30) == [2, 0, 1]
+
+    def test_scatter_and_alltoall(self):
+        def body(comm):
+            group = split_comm(comm, "all")
+            r = group.rank
+            sc = group.scatter([10, 20, 30] if r == 0 else None)
+            a2a = group.alltoall([r * 10 + j for j in range(3)])
+            return sc, a2a
+
+        results = spmd_launch(3, body, timeout=30)
+        assert [r[0] for r in results] == [10, 20, 30]
+        for dest, (_, a2a) in enumerate(results):
+            assert a2a == [src * 10 + dest for src in range(3)]
+
+    def test_group_dup_is_independent(self):
+        def body(comm):
+            group = split_comm(comm, "all")
+            dup = group.dup()
+            return group.allreduce(1), dup.allreduce(2)
+
+        assert spmd_launch(2, body, timeout=30) == [(2, 4), (2, 4)]
+
+
+class TestGroupCommValidation:
+    def test_requires_membership(self):
+        from repro.comm import LocalComm
+
+        with pytest.raises(ValueError, match="not in the group"):
+            GroupComm(LocalComm(), [5])
+
+    def test_rejects_duplicates(self):
+        from repro.comm import LocalComm
+
+        with pytest.raises(ValueError, match="duplicate"):
+            GroupComm(LocalComm(), [0, 0])
+
+    def test_rejects_empty(self):
+        from repro.comm import LocalComm
+
+        with pytest.raises(ValueError, match="at least one"):
+            GroupComm(LocalComm(), [])
+
+    def test_single_rank_group_over_local(self):
+        from repro.comm import LocalComm
+
+        group = GroupComm(LocalComm(), [0])
+        assert group.allreduce(7) == 7
+        assert group.bcast("x") == "x"
+        group.barrier()

@@ -1,0 +1,42 @@
+"""Deadlock detection: blocked collectives and receives time out cleanly."""
+
+import pytest
+
+from repro.comm import SpmdError, spmd_launch
+
+
+class TestCollectiveTimeout:
+    def test_missing_participant_aborts_job(self):
+        """A rank that never joins the barrier must not hang the others —
+        the collective times out and the whole job aborts."""
+
+        def body(comm):
+            if comm.rank == 1:
+                return "skipped the barrier"
+            comm.barrier()
+
+        with pytest.raises(SpmdError):
+            spmd_launch(2, body, timeout=0.3)
+
+    def test_recv_without_sender_aborts(self):
+        def body(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=42)  # nobody sends
+            return None
+
+        with pytest.raises(SpmdError):
+            spmd_launch(2, body, timeout=0.3)
+
+    def test_timeout_error_is_descriptive(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=9)
+            # rank 1 exits immediately
+
+        with pytest.raises(SpmdError) as exc_info:
+            spmd_launch(2, body, timeout=0.3)
+        assert "timed out" in str(exc_info.value) or "aborted" in str(exc_info.value)
+
+    def test_fast_jobs_unaffected_by_short_timeout(self):
+        results = spmd_launch(3, lambda c: c.allreduce(1), timeout=5)
+        assert results == [3, 3, 3]

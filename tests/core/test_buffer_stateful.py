@@ -1,0 +1,84 @@
+"""Stateful property test: the circular buffer is an exact bounded FIFO.
+
+Hypothesis drives arbitrary interleavings of put/get/close against a
+plain deque model; any divergence in contents, ordering, capacity
+enforcement, or close semantics fails with a minimized command sequence.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import BufferClosed, CircularBuffer
+
+CAPACITY = 3
+
+
+class BufferMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.buffer = CircularBuffer(CAPACITY)
+        self.model: deque = deque()
+        self.closed = False
+        self.counter = 0
+
+    @precondition(lambda self: not self.closed and len(self.model) < CAPACITY)
+    @rule()
+    def put(self):
+        self.counter += 1
+        self.buffer.put(self.counter)
+        self.model.append(self.counter)
+
+    @precondition(lambda self: not self.closed and len(self.model) == CAPACITY)
+    @rule()
+    def put_when_full_times_out(self):
+        with pytest.raises(TimeoutError):
+            self.buffer.put(-1, timeout=0.01)
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def get(self):
+        assert self.buffer.get(timeout=1.0) == self.model.popleft()
+
+    @precondition(lambda self: not self.closed and len(self.model) == 0)
+    @rule()
+    def get_when_empty_times_out(self):
+        with pytest.raises(TimeoutError):
+            self.buffer.get(timeout=0.01)
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def close(self):
+        self.buffer.close()
+        self.closed = True
+
+    @precondition(lambda self: self.closed)
+    @rule()
+    def closed_behaviour(self):
+        with pytest.raises(BufferClosed):
+            self.buffer.put(99)
+        if not self.model:
+            with pytest.raises(BufferClosed):
+                self.buffer.get()
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.buffer) == len(self.model)
+
+    @invariant()
+    def occupancy_bounded(self):
+        assert 0 <= len(self.buffer) <= CAPACITY
+
+
+TestCircularBufferStateful = BufferMachine.TestCase
+TestCircularBufferStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

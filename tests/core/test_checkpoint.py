@@ -1,0 +1,127 @@
+"""Checkpoint/restore of analytics state."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import Histogram, KMeans, make_blobs
+from repro.core import (
+    CheckpointError,
+    SchedArgs,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def make_histogram():
+    return Histogram(SchedArgs(), lo=-4, hi=4, num_buckets=16)
+
+
+class TestRoundTrip:
+    def test_state_restored_exactly(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=800))
+        path = save_checkpoint(app, tmp_path / "h.ckpt")
+
+        restored = make_histogram()
+        load_checkpoint(restored, path)
+        assert np.array_equal(restored.counts(), app.counts())
+
+    def test_metadata_round_trips(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=100))
+        save_checkpoint(app, tmp_path / "h.ckpt", metadata={"step": 7, "run": "a"})
+        meta = load_checkpoint(make_histogram(), tmp_path / "h.ckpt")
+        assert meta == {"step": 7, "run": "a"}
+
+    def test_resume_continues_accumulation(self, rng, tmp_path):
+        first = rng.normal(size=400)
+        second = rng.normal(size=400)
+
+        straight = make_histogram()
+        straight.run(first)
+        straight.run(second)
+
+        app = make_histogram()
+        app.run(first)
+        save_checkpoint(app, tmp_path / "h.ckpt")
+        resumed = make_histogram()
+        load_checkpoint(resumed, tmp_path / "h.ckpt")
+        resumed.run(second)
+        assert np.array_equal(resumed.counts(), straight.counts())
+
+    def test_iterative_state_resumes(self, tmp_path):
+        flat, _ = make_blobs(300, 2, 3, seed=91)
+        init = flat.reshape(-1, 2)[:3].copy()
+
+        def make_km():
+            return KMeans(
+                SchedArgs(chunk_size=2, num_iters=2, extra_data=init,
+                          vectorized=True),
+                dims=2,
+            )
+
+        straight = make_km()
+        straight.run(flat)
+        straight.run(flat)
+
+        app = make_km()
+        app.run(flat)
+        save_checkpoint(app, tmp_path / "km.ckpt")
+        resumed = make_km()
+        load_checkpoint(resumed, tmp_path / "km.ckpt")
+        resumed.run(flat)
+        assert np.allclose(resumed.centroids(), straight.centroids(), atol=1e-10)
+
+    def test_overwrite_is_atomic_replace(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=100))
+        path = tmp_path / "h.ckpt"
+        save_checkpoint(app, path)
+        app.run(rng.normal(size=100))
+        save_checkpoint(app, path)  # overwrite
+        restored = make_histogram()
+        load_checkpoint(restored, path)
+        assert restored.counts().sum() == 200
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(make_histogram(), tmp_path / "absent.ckpt")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(make_histogram(), path)
+
+    def test_wrong_magic(self, tmp_path):
+        import json
+
+        header = json.dumps({"magic": "other"}).encode()
+        path = tmp_path / "other.ckpt"
+        path.write_bytes(len(header).to_bytes(8, "little") + header)
+        with pytest.raises(CheckpointError, match="not a Smart checkpoint"):
+            load_checkpoint(make_histogram(), path)
+
+    def test_scheduler_type_mismatch_rejected(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=50))
+        path = save_checkpoint(app, tmp_path / "h.ckpt")
+        km = KMeans(SchedArgs(chunk_size=2), dims=2)
+        with pytest.raises(CheckpointError, match="Histogram"):
+            load_checkpoint(km, path)
+
+    def test_type_mismatch_allowed_when_not_strict(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=50))
+        path = save_checkpoint(app, tmp_path / "h.ckpt")
+        km = KMeans(SchedArgs(chunk_size=2), dims=2)
+        load_checkpoint(km, path, strict_type=False)  # caller's responsibility
+
+    def test_creates_parent_directories(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=50))
+        path = save_checkpoint(app, tmp_path / "deep" / "nested" / "h.ckpt")
+        assert path.exists()

@@ -1,0 +1,116 @@
+"""Chunks, splits, and blocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Chunk, Split, iter_blocks, make_splits
+
+
+class TestChunk:
+    def test_fields_and_derived(self):
+        c = Chunk(4, 3)
+        assert c.stop == 7
+        assert c.slice == slice(4, 7)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(-1, 2)
+        with pytest.raises(ValueError):
+            Chunk(0, 0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Chunk(0, 1).start = 2
+
+
+class TestSplit:
+    def test_len(self):
+        assert len(Split(2, 10, 0)) == 8
+
+    def test_chunks_exact_division(self):
+        chunks = list(Split(0, 6, 0).chunks(2))
+        assert [(c.start, c.size) for c in chunks] == [(0, 2), (2, 2), (4, 2)]
+
+    def test_chunks_trailing_partial(self):
+        chunks = list(Split(0, 7, 0).chunks(3))
+        assert [(c.start, c.size) for c in chunks] == [(0, 3), (3, 3), (6, 1)]
+
+    def test_chunks_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(Split(0, 4, 0).chunks(0))
+
+
+class TestBlocks:
+    def test_whole_partition_when_none(self):
+        assert list(iter_blocks(10, None)) == [(0, 10)]
+
+    def test_splitting(self):
+        assert list(iter_blocks(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_block_larger_than_input(self):
+        assert list(iter_blocks(3, 100)) == [(0, 3)]
+
+    def test_empty_input(self):
+        assert list(iter_blocks(0, 4)) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(iter_blocks(-1, 4))
+        with pytest.raises(ValueError):
+            list(iter_blocks(4, 0))
+
+
+class TestMakeSplits:
+    def test_even_division(self):
+        splits = make_splits(0, 12, 3, 1)
+        assert [(s.start, s.stop, s.thread_id) for s in splits] == [
+            (0, 4, 0), (4, 8, 1), (8, 12, 2),
+        ]
+
+    def test_chunk_aligned_boundaries(self):
+        # 10 elements, chunk_size 3 -> 4 chunks over 2 threads: 2 chunks each.
+        splits = make_splits(0, 10, 2, 3)
+        assert [(s.start, s.stop) for s in splits] == [(0, 6), (6, 10)]
+
+    def test_more_threads_than_chunks_drops_empties(self):
+        splits = make_splits(0, 2, 8, 1)
+        assert len(splits) == 2
+        assert {s.thread_id for s in splits} == {0, 1}
+
+    def test_offset_start(self):
+        splits = make_splits(100, 108, 2, 2)
+        assert [(s.start, s.stop) for s in splits] == [(100, 104), (104, 108)]
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            make_splits(0, 4, 0, 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=500),
+    threads=st.integers(min_value=1, max_value=9),
+    chunk_size=st.integers(min_value=1, max_value=17),
+)
+def test_splits_partition_every_element_exactly_once(n, threads, chunk_size):
+    """Every element lands in exactly one chunk of exactly one split."""
+    covered = []
+    for split in make_splits(0, n, threads, chunk_size):
+        for chunk in split.chunks(chunk_size):
+            covered.extend(range(chunk.start, chunk.stop))
+    assert covered == list(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=500),
+    block=st.integers(min_value=1, max_value=100),
+)
+def test_blocks_are_contiguous_and_complete(n, block):
+    blocks = list(iter_blocks(n, block))
+    assert blocks[0][0] == 0
+    assert blocks[-1][1] == n
+    for (a0, a1), (b0, _b1) in zip(blocks, blocks[1:]):
+        assert a1 == b0
+        assert a1 - a0 == block  # only the last block may be short

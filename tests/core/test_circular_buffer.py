@@ -1,0 +1,132 @@
+"""Circular buffer: FIFO, blocking, close semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import BufferClosed, CircularBuffer
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        buf = CircularBuffer(3)
+        for i in range(3):
+            buf.put(i)
+        assert [buf.get() for _ in range(3)] == [0, 1, 2]
+
+    def test_wraparound(self):
+        buf = CircularBuffer(2)
+        buf.put("a")
+        buf.put("b")
+        assert buf.get() == "a"
+        buf.put("c")
+        assert buf.get() == "b"
+        assert buf.get() == "c"
+
+    def test_len(self):
+        buf = CircularBuffer(4)
+        buf.put(1)
+        buf.put(2)
+        assert len(buf) == 2
+        buf.get()
+        assert len(buf) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(0)
+
+    def test_cells_freed_after_get(self):
+        buf = CircularBuffer(2)
+        buf.put([1, 2, 3])
+        buf.get()
+        assert buf._cells == [None, None]
+
+
+class TestBlocking:
+    def test_put_blocks_when_full_until_get(self):
+        buf = CircularBuffer(1)
+        buf.put("x")
+        done = threading.Event()
+
+        def producer():
+            buf.put("y")  # must block until the consumer drains
+            done.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        assert buf.get() == "x"
+        t.join(timeout=5)
+        assert done.is_set()
+        assert buf.producer_blocks == 1
+
+    def test_get_blocks_when_empty_until_put(self):
+        buf = CircularBuffer(1)
+        result = []
+
+        def consumer():
+            result.append(buf.get())
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        assert not result
+        buf.put(42)
+        t.join(timeout=5)
+        assert result == [42]
+        assert buf.consumer_blocks == 1
+
+    def test_put_timeout(self):
+        buf = CircularBuffer(1)
+        buf.put(1)
+        with pytest.raises(TimeoutError):
+            buf.put(2, timeout=0.05)
+
+    def test_get_timeout(self):
+        with pytest.raises(TimeoutError):
+            CircularBuffer(1).get(timeout=0.05)
+
+
+class TestClose:
+    def test_get_drains_then_raises(self):
+        buf = CircularBuffer(2)
+        buf.put(1)
+        buf.close()
+        assert buf.get() == 1
+        with pytest.raises(BufferClosed):
+            buf.get()
+
+    def test_put_after_close_rejected(self):
+        buf = CircularBuffer(1)
+        buf.close()
+        with pytest.raises(BufferClosed):
+            buf.put(1)
+
+    def test_close_wakes_blocked_consumer(self):
+        buf = CircularBuffer(1)
+        raised = threading.Event()
+
+        def consumer():
+            try:
+                buf.get()
+            except BufferClosed:
+                raised.set()
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        buf.close()
+        t.join(timeout=5)
+        assert raised.is_set()
+
+
+class TestTelemetry:
+    def test_put_get_counters(self):
+        buf = CircularBuffer(4)
+        for i in range(3):
+            buf.put(i)
+        buf.get()
+        assert buf.puts == 3
+        assert buf.gets == 1

@@ -1,0 +1,92 @@
+"""Early emission of reduction objects (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import MovingAverage, MovingMedian, reference_moving_average
+from repro.core import SchedArgs
+
+
+def run_moving_average(n, win, **args_kw):
+    data = np.linspace(0.0, 1.0, n)
+    app = MovingAverage(SchedArgs(**args_kw), win_size=win)
+    out = np.full(n, np.nan)
+    app.run2(data, out)
+    return app, out, data
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n", [10, 64, 301])
+    @pytest.mark.parametrize("win", [3, 7, 11])
+    def test_results_identical_with_and_without_trigger(self, n, win):
+        _, with_trigger, data = run_moving_average(n, win)
+        _, without, _ = run_moving_average(n, win, disable_early_emission=True)
+        assert np.allclose(with_trigger, without)
+        assert np.allclose(with_trigger, reference_moving_average(data, win))
+
+
+class TestMemoryEffect:
+    def test_peak_objects_bounded_by_window_not_input(self):
+        app_on, _, _ = run_moving_average(500, 7)
+        app_off, _, _ = run_moving_average(500, 7, disable_early_emission=True)
+        assert app_off.stats.peak_red_objects >= 500
+        # With the trigger, only in-flight windows are held: O(W), not O(N).
+        assert app_on.stats.peak_red_objects <= 3 * 7
+
+    def test_emission_counter(self):
+        app, _, _ = run_moving_average(100, 5)
+        # Boundary windows (2 on each side) never reach full coverage.
+        assert app.stats.early_emissions == 100 - 4
+
+    def test_no_emissions_when_disabled(self):
+        app, _, _ = run_moving_average(100, 5, disable_early_emission=True)
+        assert app.stats.early_emissions == 0
+
+
+class TestEmittedKeysNotReconverted:
+    def test_emitted_key_written_once(self):
+        """A key converted at emission must not be re-converted at output
+        time (it is gone from the maps; the final loop skips it)."""
+
+        writes: dict[int, int] = {}
+
+        class CountingMA(MovingAverage):
+            def convert(self, red_obj, out, key):
+                writes[key] = writes.get(key, 0) + 1
+                super().convert(red_obj, out, key)
+
+        data = np.arange(50, dtype=float)
+        app = CountingMA(SchedArgs(), win_size=5)
+        app.run2(data, np.full(50, np.nan))
+        assert all(count == 1 for count in writes.values())
+        assert len(writes) == 50
+
+
+class TestHolisticObjects:
+    def test_median_trigger_requires_full_window(self):
+        data = np.random.default_rng(0).normal(size=120)
+        app = MovingMedian(SchedArgs(), win_size=9)
+        out = np.full(120, np.nan)
+        app.run2(data, out)
+        assert app.stats.early_emissions == 120 - 8
+        assert not np.isnan(out).any()
+
+
+class TestMultiRankBoundaries:
+    def test_windows_spanning_ranks_resolved_by_combination(self):
+        from repro.comm import spmd_launch
+        from repro.core import merge_distributed_output
+
+        data = np.random.default_rng(1).normal(size=90)
+        ref = reference_moving_average(data, 7)
+
+        def body(comm):
+            parts = np.array_split(data, comm.size)
+            offset = sum(len(p) for p in parts[: comm.rank])
+            app = MovingAverage(SchedArgs(), comm, win_size=7)
+            out = np.full(90, np.nan)
+            app.run2(parts[comm.rank], out, global_offset=offset, total_len=90)
+            return merge_distributed_output(comm, out)
+
+        for merged in spmd_launch(3, body, timeout=30):
+            assert np.allclose(merged, ref)

@@ -1,0 +1,93 @@
+"""Reduction/combination maps: merge-or-move semantics."""
+
+import pytest
+
+from repro.analytics import CountObj, SumCountObj
+from repro.core import KeyedMap
+
+
+def merge_counts(red, com):
+    com.count += red.count
+    return com
+
+
+class TestDictSurface:
+    def test_set_get_contains(self):
+        m = KeyedMap()
+        m[3] = CountObj(5)
+        assert 3 in m
+        assert m[3].count == 5
+        assert len(m) == 1
+
+    def test_key_coerced_to_int(self):
+        m = KeyedMap()
+        m[True] = CountObj(1)  # bool is an int subtype; stored as int
+        assert list(m.keys()) == [1]
+
+    def test_non_red_obj_rejected(self):
+        m = KeyedMap()
+        with pytest.raises(TypeError):
+            m[0] = "not a red obj"
+
+    def test_delete_and_pop(self):
+        m = KeyedMap({1: CountObj(1), 2: CountObj(2)})
+        del m[1]
+        obj = m.pop(2)
+        assert obj.count == 2
+        assert len(m) == 0
+
+    def test_get_default(self):
+        assert KeyedMap().get(9) is None
+
+    def test_sorted_items(self):
+        m = KeyedMap()
+        m[5] = CountObj(1)
+        m[1] = CountObj(2)
+        assert [k for k, _ in m.sorted_items()] == [1, 5]
+
+    def test_iteration_is_insertion_order(self):
+        m = KeyedMap()
+        m[5] = CountObj(1)
+        m[1] = CountObj(2)
+        assert list(m) == [5, 1]
+
+
+class TestMergeSemantics:
+    def test_move_when_key_absent(self):
+        m = KeyedMap()
+        obj = CountObj(4)
+        m.merge_in(7, obj, merge_counts)
+        assert m[7] is obj  # moved, not copied
+
+    def test_merge_when_key_present(self):
+        m = KeyedMap({7: CountObj(10)})
+        m.merge_in(7, CountObj(4), merge_counts)
+        assert m[7].count == 14
+
+    def test_merge_map_combines_all(self):
+        a = KeyedMap({1: CountObj(1), 2: CountObj(2)})
+        b = KeyedMap({2: CountObj(20), 3: CountObj(30)})
+        a.merge_map(b, merge_counts)
+        assert {k: v.count for k, v in a.items()} == {1: 1, 2: 22, 3: 30}
+
+    def test_merge_result_type_checked(self):
+        m = KeyedMap({0: CountObj(1)})
+        with pytest.raises(TypeError):
+            m.merge_in(0, CountObj(1), lambda r, c: "broken")
+
+
+class TestCloneAndAudit:
+    def test_clone_is_deep(self):
+        m = KeyedMap({0: SumCountObj(1.0, 1)})
+        c = m.clone()
+        c[0].total = 99.0
+        assert m[0].total == 1.0
+
+    def test_state_nbytes_positive(self):
+        m = KeyedMap({0: CountObj(1), 1: CountObj(2)})
+        assert m.state_nbytes() > 0
+
+    def test_clear(self):
+        m = KeyedMap({0: CountObj(1)})
+        m.clear()
+        assert len(m) == 0

@@ -1,0 +1,62 @@
+"""RedObj base behaviour and serialization."""
+
+import pytest
+
+from repro.analytics import ClusterObj, CountObj, HoldAllObj, SumCountObj
+from repro.core import RedObj, ensure_red_obj
+
+import numpy as np
+
+
+class TestDefaults:
+    def test_trigger_defaults_false(self):
+        assert RedObj().trigger() is False
+        assert CountObj().trigger() is False
+
+    def test_clone_is_independent(self):
+        obj = SumCountObj(3.0, 2)
+        dup = obj.clone()
+        dup.total = 99.0
+        assert obj.total == 3.0
+
+    def test_clone_deep_copies_arrays(self):
+        obj = ClusterObj(np.zeros(3))
+        dup = obj.clone()
+        dup.centroid[:] = 5.0
+        assert np.array_equal(obj.centroid, np.zeros(3))
+
+    def test_nbytes_positive(self):
+        assert CountObj(5).nbytes() > 0
+        assert ClusterObj(np.zeros(8)).nbytes() >= 2 * 64
+
+    def test_holdall_nbytes_grows_with_contents(self):
+        obj = HoldAllObj(11)
+        before = obj.nbytes()
+        for i in range(10):
+            obj.add(i, float(i))
+        assert obj.nbytes() > before
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        obj = SumCountObj(2.5, 4)
+        restored = RedObj.from_bytes(obj.to_bytes())
+        assert isinstance(restored, SumCountObj)
+        assert restored.total == 2.5
+        assert restored.count == 4
+
+    def test_from_bytes_rejects_non_red_obj(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            RedObj.from_bytes(pickle.dumps({"not": "a RedObj"}))
+
+
+class TestEnsure:
+    def test_passthrough(self):
+        obj = CountObj()
+        assert ensure_red_obj(obj) is obj
+
+    def test_rejects_others_with_helpful_message(self):
+        with pytest.raises(TypeError, match="accumulate"):
+            ensure_red_obj(None)

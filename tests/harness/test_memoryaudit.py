@@ -1,0 +1,38 @@
+"""Memory-footprint audit (the Section 5.2 claim, measured)."""
+
+import pytest
+
+from repro.harness.memoryaudit import AuditRow, audit_all
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return audit_all(elements=8_000)
+
+
+class TestAudit:
+    def test_covers_the_three_spark_apps(self, rows):
+        assert [r.app for r in rows] == ["histogram", "kmeans", "logistic_regression"]
+
+    def test_smart_state_is_tiny_fraction_of_input(self, rows):
+        # The paper's point: Smart's analytics state is bounded by keys,
+        # not input size (16 MB for a 512 MB step = ~3%; ours is smaller
+        # still because our key counts are small).
+        for row in rows:
+            assert row.smart_fraction_of_input < 0.25, row.app
+
+    def test_spark_state_scales_with_input(self, rows):
+        for row in rows:
+            # Materialized pairs alone exceed the raw input bytes.
+            assert row.spark_peak_pair_bytes > row.input_bytes / 2, row.app
+
+    def test_footprint_gap_at_least_an_order_of_magnitude(self, rows):
+        for row in rows:
+            assert row.ratio > 10, (row.app, row.ratio)
+
+    def test_row_arithmetic(self):
+        row = AuditRow("x", input_bytes=1000, smart_state_bytes=10,
+                       spark_peak_pair_bytes=500, spark_serialized_bytes=300)
+        assert row.spark_total_bytes == 800
+        assert row.ratio == 80
+        assert row.smart_fraction_of_input == pytest.approx(0.01)

@@ -1,0 +1,88 @@
+"""Reporting helpers and programmability accounting."""
+
+import math
+
+import pytest
+
+from repro.harness import (
+    compare,
+    format_bytes,
+    format_ratio,
+    format_seconds,
+    print_series,
+    print_table,
+)
+from repro.harness.programmability import effective_lines, parallel_lines
+
+
+class TestFormatting:
+    def test_seconds_ranges(self):
+        assert format_seconds(5e-7) == "0.5us"
+        assert format_seconds(0.0123) == "12.3ms"
+        assert format_seconds(3.21) == "3.21s"
+        assert format_seconds(300) == "5.0min"
+        assert format_seconds(math.inf) == "CRASH"
+
+    def test_bytes_ranges(self):
+        assert format_bytes(12) == "12B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024**2) == "3.0MiB"
+        assert format_bytes(5 * 1024**3) == "5.0GiB"
+
+    def test_ratio(self):
+        assert format_ratio(2.5) == "2.50x"
+        assert format_ratio(math.inf) == "inf"
+
+
+class TestTables:
+    def test_print_table_renders(self, capsys):
+        print_table("Demo", ["a", "b"], [[1, "x"], [22, "yy"]])
+        captured = capsys.readouterr().out
+        assert "Demo" in captured
+        assert "22" in captured
+
+    def test_print_series_aligns_by_x(self, capsys):
+        print_series("S", "n", {"fast": {1: 1.0, 2: 0.5}, "slow": {2: 2.0}})
+        out = capsys.readouterr().out
+        assert "fast" in out and "slow" in out
+        assert "-" in out  # missing point placeholder
+
+
+class TestProgrammability:
+    def test_effective_lines_strips_docs_and_comments(self):
+        def sample():
+            """Docstring line.
+
+            More doc.
+            """
+            # comment
+            x = 1
+            return x
+
+        lines = effective_lines(sample)
+        assert "x = 1" in lines
+        assert all("Docstring" not in l for l in lines)
+        assert all(not l.startswith("#") for l in lines)
+
+    def test_parallel_lines_detect_comm_usage(self):
+        lines = ["comm.Allreduce(a, b)", "x = 1", "sendbuf[:] = 0"]
+        assert len(parallel_lines(lines)) == 2
+
+    def test_compare_produces_sane_row(self):
+        from repro.analytics import KMeans
+        from repro.baselines.lowlevel import lowlevel_kmeans
+
+        row = compare("kmeans", lowlevel_kmeans, KMeans)
+        assert row.lowlevel_total > 0
+        assert row.lowlevel_parallel > 0
+        assert row.smart_parallel < row.lowlevel_parallel
+        assert 0 <= row.eliminated_or_sequentialized_pct <= 100
+
+    def test_smart_callbacks_are_sequential_code(self):
+        # The headline programmability claim: Smart application callbacks
+        # contain (almost) no parallel-aware lines.
+        from repro.analytics import Histogram
+
+        lines = effective_lines(Histogram)
+        parallel = parallel_lines(lines)
+        assert len(parallel) <= 2

@@ -1,0 +1,73 @@
+"""Calibration and machine models."""
+
+import pytest
+
+from repro.perfmodel import (
+    CALIBRATION_CLOCK_GHZ,
+    KernelCost,
+    MULTICORE_CLUSTER,
+    XEON_PHI_CLUSTER,
+)
+from repro.perfmodel.calibrate import (
+    calibrate_analytics,
+    calibrate_simulations,
+    calibrate_window_kernels,
+)
+
+
+class TestMachineSpecs:
+    def test_paper_section51_parameters(self):
+        assert MULTICORE_CLUSTER.cores_per_node == 8
+        assert MULTICORE_CLUSTER.clock_ghz == 2.53
+        assert MULTICORE_CLUSTER.mem_bytes == 12 * 1024**3
+        assert XEON_PHI_CLUSTER.cores_per_node == 60  # one of 61 reserved
+        assert XEON_PHI_CLUSTER.clock_ghz == 1.1
+        assert XEON_PHI_CLUSTER.mem_bytes == 8 * 1024**3
+
+    def test_phi_seconds_scale_larger_than_multicore(self):
+        phi = XEON_PHI_CLUSTER.core_seconds_scale(CALIBRATION_CLOCK_GHZ)
+        multi = MULTICORE_CLUSTER.core_seconds_scale(CALIBRATION_CLOCK_GHZ)
+        assert phi > multi  # slower, narrower cores
+
+    def test_thread_speedup_validation(self):
+        with pytest.raises(ValueError):
+            MULTICORE_CLUSTER.thread_speedup(0, 0.9)
+
+    def test_kernel_cost_scaling(self):
+        cost = KernelCost("k", 1e-8, 100.0, 50.0)
+        scaled = cost.scaled(2.0)
+        assert scaled.seconds_per_element == 2e-8
+        assert scaled.state_bytes == 100.0
+
+
+class TestCalibration:
+    """Small-scale calibration runs (enough to validate, fast enough for CI)."""
+
+    def test_simulation_costs_positive(self):
+        costs = calibrate_simulations()
+        assert set(costs) == {"heat3d", "lulesh", "emulator"}
+        for cost in costs.values():
+            assert 0 < cost.seconds_per_element < 1e-3
+
+    def test_analytics_costs_cover_all_nine(self):
+        costs = calibrate_analytics(scale=4000)
+        expected = {
+            "grid_aggregation", "histogram", "mutual_information",
+            "logistic_regression", "kmeans", "moving_average",
+            "moving_median", "kernel_density", "savgol",
+        }
+        assert set(costs) == expected
+        for cost in costs.values():
+            assert cost.seconds_per_element > 0
+
+    def test_sync_payload_measured_from_real_maps(self):
+        costs = calibrate_analytics(scale=4000)
+        # Histogram's payload grows with its 1,200 buckets; LR has one key.
+        assert costs["histogram"].sync_bytes > costs["logistic_regression"].sync_bytes
+
+    def test_window_kernels_are_compiled_speed(self):
+        costs = calibrate_window_kernels(scale=20_000)
+        # Compiled-path window kernels must be far below 1 us/element
+        # (a Python chunk loop is ~20-40 us/element).
+        for cost in costs.values():
+            assert cost.seconds_per_element < 2e-6

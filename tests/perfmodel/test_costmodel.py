@@ -1,0 +1,171 @@
+"""Cluster cost model: structural properties the figures rely on."""
+
+import math
+
+import pytest
+
+from repro.core import CoreSplit
+from repro.perfmodel import (
+    AnalyticsModel,
+    MULTICORE_CLUSTER,
+    MemoryModel,
+    NodeWorkload,
+    SimulationModel,
+    XEON_PHI_CLUSTER,
+    collective_seconds,
+    model_simulation_only,
+    model_space_sharing,
+    model_time_sharing,
+    parallel_efficiency,
+)
+from repro.perfmodel.costmodel import analytics_speedup
+
+SIM = SimulationModel("sim", seconds_per_element=1e-8, memory_factor=3.0)
+APP = AnalyticsModel("app", seconds_per_element=5e-8, passes=2,
+                     sync_payload_bytes=10_000)
+
+
+def workload(gib_per_step=0.25, steps=10):
+    return NodeWorkload(int(gib_per_step * 2**30 / 8), steps)
+
+
+class TestTimeSharing:
+    def test_breakdown_positive(self):
+        pred = model_time_sharing(MULTICORE_CLUSTER, 4, 8, workload(), SIM, APP)
+        assert pred.sim_seconds > 0
+        assert pred.analytics_seconds > 0
+        assert pred.sync_seconds > 0
+        assert pred.total_seconds == pytest.approx(pred.step_seconds * 10)
+
+    def test_more_threads_is_faster(self):
+        slow = model_time_sharing(MULTICORE_CLUSTER, 4, 1, workload(), SIM, APP)
+        fast = model_time_sharing(MULTICORE_CLUSTER, 4, 8, workload(), SIM, APP)
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_passes_scale_analytics_linearly(self):
+        one = model_time_sharing(
+            MULTICORE_CLUSTER, 1, 1, workload(),
+            SIM, AnalyticsModel("a", 1e-8, passes=1),
+        )
+        five = model_time_sharing(
+            MULTICORE_CLUSTER, 1, 1, workload(),
+            SIM, AnalyticsModel("a", 1e-8, passes=5),
+        )
+        assert five.analytics_seconds == pytest.approx(5 * one.analytics_seconds)
+
+    def test_copy_variant_never_faster(self):
+        nocopy = model_time_sharing(MULTICORE_CLUSTER, 4, 8, workload(), SIM, APP)
+        copied = model_time_sharing(
+            MULTICORE_CLUSTER, 4, 8, workload(), SIM, APP, copy_input=True
+        )
+        assert copied.total_seconds > nocopy.total_seconds
+
+    def test_crash_when_working_set_exceeds_memory(self):
+        huge = workload(gib_per_step=8.0)  # 3x factor -> 24 GB on a 12 GB node
+        pred = model_time_sharing(MULTICORE_CLUSTER, 4, 8, huge, SIM, APP)
+        assert pred.crashed
+        assert math.isinf(pred.total_seconds)
+
+    def test_sync_grows_with_nodes(self):
+        few = model_time_sharing(MULTICORE_CLUSTER, 2, 8, workload(), SIM, APP)
+        many = model_time_sharing(MULTICORE_CLUSTER, 64, 8, workload(), SIM, APP)
+        assert many.sync_seconds > few.sync_seconds
+
+    def test_single_node_has_no_sync(self):
+        pred = model_time_sharing(MULTICORE_CLUSTER, 1, 8, workload(), SIM, APP)
+        assert pred.sync_seconds == 0.0
+
+
+class TestSpeedupModels:
+    def test_amdahl_monotone_and_capped(self):
+        machine = MULTICORE_CLUSTER
+        speedups = [machine.thread_speedup(t, 0.95) for t in (1, 2, 4, 8)]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] < 8
+
+    def test_threads_capped_at_cores(self):
+        machine = MULTICORE_CLUSTER
+        assert machine.thread_speedup(100, 0.99) == machine.thread_speedup(8, 0.99)
+
+    def test_saturation_asymptote(self):
+        app = AnalyticsModel("a", 1e-8, saturation_speedup=10.0)
+        s8 = analytics_speedup(MULTICORE_CLUSTER, 8, app)
+        assert s8 == pytest.approx(8 / (1 + 0.8))
+        s_many = analytics_speedup(XEON_PHI_CLUSTER, 60, app)
+        assert s_many < 10.0
+
+    def test_saturation_takes_precedence(self):
+        app = AnalyticsModel("a", 1e-8, parallel_fraction=0.5, saturation_speedup=100.0)
+        assert analytics_speedup(MULTICORE_CLUSTER, 4, app) > 3.0
+
+
+class TestSpaceSharing:
+    def test_overlap_hides_cheaper_stage(self):
+        machine = XEON_PHI_CLUSTER
+        cheap_app = AnalyticsModel("cheap", 1e-9, saturation_speedup=10.0)
+        pred = model_space_sharing(
+            machine, 4, CoreSplit(50, 10), workload(), SIM, cheap_app
+        )
+        assert pred.notes["hidden_seconds"] == pred.notes["stage_analytics"]
+
+    def test_split_exceeding_cores_rejected(self):
+        with pytest.raises(ValueError):
+            model_space_sharing(
+                MULTICORE_CLUSTER, 2, CoreSplit(50, 10), workload(), SIM, APP
+            )
+
+    def test_buffer_cells_add_memory(self):
+        machine = XEON_PHI_CLUSTER
+        tight = NodeWorkload(int(1.5 * 2**30 / 8), 10)
+        one = model_space_sharing(
+            machine, 2, CoreSplit(30, 30), tight, SIM, APP, buffer_cells=1
+        )
+        many = model_space_sharing(
+            machine, 2, CoreSplit(30, 30), tight, SIM, APP, buffer_cells=4
+        )
+        assert many.working_set_bytes >= one.working_set_bytes
+
+    def test_space_copy_cost_included(self):
+        # The producer stage pays one memcpy per step.
+        machine = XEON_PHI_CLUSTER
+        pred = model_space_sharing(
+            machine, 2, CoreSplit(30, 30), workload(), SIM,
+            AnalyticsModel("free", 0.0),
+        )
+        sim_only_stage = (
+            SIM.seconds_per_element * workload().elements_per_step
+            * machine.core_seconds_scale(2.5)
+            / machine.thread_speedup(30, machine.sim_parallel_fraction)
+        )
+        assert pred.notes["stage_sim"] > sim_only_stage
+
+
+class TestHelpers:
+    def test_simulation_only_has_no_analytics(self):
+        pred = model_simulation_only(MULTICORE_CLUSTER, 4, 8, workload(), SIM)
+        assert pred.analytics_seconds == 0.0
+        assert pred.mode == "simulation_only"
+
+    def test_collective_seconds_zero_for_one_node(self):
+        assert collective_seconds(MULTICORE_CLUSTER, 1, 1000) == 0.0
+
+    def test_collective_seconds_log_depth(self):
+        t4 = collective_seconds(MULTICORE_CLUSTER, 4, 0)
+        t16 = collective_seconds(MULTICORE_CLUSTER, 16, 0)
+        assert t16 == pytest.approx(2 * t4)  # depth 2 -> 4
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(4, 100.0, 8, 50.0) == pytest.approx(1.0)
+        assert parallel_efficiency(4, 100.0, 8, 60.0) == pytest.approx(100 * 4 / (60 * 8))
+
+    def test_workload_from_total(self):
+        w = NodeWorkload.from_total(1e12, 100, 4)
+        assert w.elements_per_step == int(1e12 / 8 / 100 / 4)
+        assert w.step_bytes == w.elements_per_step * 8
+
+    def test_early_emission_toggle(self):
+        base = AnalyticsModel("w", 1e-8)
+        on = base.with_early_emission(True, 64.0)
+        off = base.with_early_emission(False, 64.0)
+        assert on.state_bytes_per_element == 0.0
+        assert off.state_bytes_per_element == 64.0

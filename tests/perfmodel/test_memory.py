@@ -1,0 +1,56 @@
+"""Memory-pressure model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import MemoryCrash, MemoryModel
+
+GIB = 1024**3
+
+
+class TestRegimes:
+    def test_no_pressure_below_threshold(self):
+        model = MemoryModel(threshold=0.7, severity=4.0)
+        assert model.multiplier(int(0.5 * GIB), GIB) == 1.0
+        assert model.multiplier(int(0.7 * GIB), GIB) == 1.0
+
+    def test_pressure_grows_toward_capacity(self):
+        model = MemoryModel(threshold=0.7, severity=4.0)
+        mid = model.multiplier(int(0.85 * GIB), GIB)
+        high = model.multiplier(int(0.99 * GIB), GIB)
+        assert 1.0 < mid < high
+
+    def test_severity_reached_at_capacity(self):
+        model = MemoryModel(threshold=0.7, severity=4.0)
+        assert model.multiplier(GIB, GIB) == pytest.approx(5.0)
+
+    def test_crash_past_capacity(self):
+        model = MemoryModel()
+        with pytest.raises(MemoryCrash) as exc_info:
+            model.multiplier(GIB + 1, GIB)
+        assert exc_info.value.working_set == GIB + 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryModel().multiplier(10, 0)
+
+    def test_crash_message_in_gib(self):
+        with pytest.raises(MemoryCrash, match="GiB"):
+            MemoryModel().multiplier(2 * GIB, GIB)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    u1=st.floats(min_value=0.0, max_value=1.0),
+    u2=st.floats(min_value=0.0, max_value=1.0),
+    threshold=st.floats(min_value=0.1, max_value=0.95),
+    severity=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_multiplier_is_monotone_in_utilization(u1, u2, threshold, severity):
+    model = MemoryModel(threshold=threshold, severity=severity)
+    lo, hi = sorted([u1, u2])
+    m_lo = model.multiplier(int(lo * GIB), GIB)
+    m_hi = model.multiplier(int(hi * GIB), GIB)
+    assert m_lo <= m_hi
+    assert m_lo >= 1.0

@@ -1,0 +1,69 @@
+"""Simulation ABC defaults and cross-simulation contracts."""
+
+import numpy as np
+import pytest
+
+from repro.sim import GaussianEmulator, Heat3D, LuleshProxy, Simulation
+
+ALL_SIMS = [
+    lambda: Heat3D((8, 8, 8)),
+    lambda: LuleshProxy(8),
+    lambda: GaussianEmulator(256),
+]
+IDS = ["heat3d", "lulesh", "emulator"]
+
+
+class TestSimulationContract:
+    @pytest.mark.parametrize("factory", ALL_SIMS, ids=IDS)
+    def test_advance_returns_partition_of_declared_size(self, factory):
+        sim = factory()
+        out = sim.advance()
+        assert out.shape == (sim.partition_elements,)
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize("factory", ALL_SIMS, ids=IDS)
+    def test_partition_nbytes_is_float64_sized(self, factory):
+        sim = factory()
+        assert sim.partition_nbytes == sim.partition_elements * 8
+
+    @pytest.mark.parametrize("factory", ALL_SIMS, ids=IDS)
+    def test_step_counts_advances(self, factory):
+        sim = factory()
+        assert sim.step == 0
+        sim.advance()
+        sim.advance()
+        assert sim.step == 2
+
+    @pytest.mark.parametrize("factory", ALL_SIMS, ids=IDS)
+    def test_memory_accounting_positive(self, factory):
+        sim = factory()
+        assert sim.memory_nbytes > 0
+
+    @pytest.mark.parametrize("factory", ALL_SIMS, ids=IDS)
+    def test_reset_then_advance_reproduces_first_step(self, factory):
+        sim = factory()
+        first = sim.advance().copy()
+        for _ in range(3):
+            sim.advance()
+        sim.reset()
+        assert np.array_equal(sim.advance(), first)
+
+    def test_reset_default_unsupported(self):
+        class Bare(Simulation):
+            def advance(self):
+                return np.zeros(1)
+
+            @property
+            def step(self):
+                return 0
+
+            @property
+            def partition_elements(self):
+                return 1
+
+            @property
+            def memory_nbytes(self):
+                return 8
+
+        with pytest.raises(NotImplementedError):
+            Bare().reset()

@@ -1,0 +1,61 @@
+"""Domain decomposition helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Slab, decompose_1d, partition_offsets
+
+
+class TestDecompose1D:
+    def test_even(self):
+        slabs = [decompose_1d(12, 4, r) for r in range(4)]
+        assert [(s.start, s.stop) for s in slabs] == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_goes_to_leading_ranks(self):
+        slabs = [decompose_1d(10, 3, r) for r in range(3)]
+        assert [len(s) for s in slabs] == [4, 3, 3]
+
+    def test_single_rank(self):
+        s = decompose_1d(7, 1, 0)
+        assert (s.start, s.stop) == (0, 7)
+
+    def test_neighbors(self):
+        assert not decompose_1d(8, 2, 0).has_lower_neighbor
+        assert decompose_1d(8, 2, 0).has_upper_neighbor
+        assert decompose_1d(8, 2, 1).has_lower_neighbor
+        assert not decompose_1d(8, 2, 1).has_upper_neighbor
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_1d(3, 4, 0)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            decompose_1d(8, 2, 2)
+
+    def test_invalid_slab(self):
+        with pytest.raises(ValueError):
+            Slab(5, 3, 10)
+
+    def test_partition_offsets(self):
+        assert partition_offsets(10, 3) == [0, 4, 7]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    axis=st.integers(min_value=1, max_value=300),
+    size=st.integers(min_value=1, max_value=16),
+)
+def test_slabs_tile_the_axis_exactly(axis, size):
+    if axis < size:
+        with pytest.raises(ValueError):
+            decompose_1d(axis, size, 0)
+        return
+    slabs = [decompose_1d(axis, size, r) for r in range(size)]
+    assert slabs[0].start == 0
+    assert slabs[-1].stop == axis
+    for a, b in zip(slabs, slabs[1:]):
+        assert a.stop == b.start
+    sizes = [len(s) for s in slabs]
+    assert max(sizes) - min(sizes) <= 1  # near-equal distribution

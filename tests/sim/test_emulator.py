@@ -1,0 +1,61 @@
+"""Gaussian emulator (the Spark-comparison data source)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import GaussianEmulator
+
+
+class TestOutput:
+    def test_shape_and_dtype(self):
+        em = GaussianEmulator(100)
+        out = em.advance()
+        assert out.shape == (100,)
+        assert out.dtype == np.float64
+
+    def test_distribution_roughly_normal(self):
+        em = GaussianEmulator(50_000, mean=2.0, std=0.5, seed=1)
+        out = em.advance()
+        assert abs(out.mean() - 2.0) < 0.02
+        assert abs(out.std() - 0.5) < 0.02
+
+    def test_steps_differ(self):
+        em = GaussianEmulator(100, seed=2)
+        a = em.advance().copy()
+        b = em.advance().copy()
+        assert not np.array_equal(a, b)
+
+    def test_regenerate_reproduces_any_step(self):
+        em = GaussianEmulator(64, seed=3)
+        seen = [em.advance().copy() for _ in range(4)]
+        for t, expected in enumerate(seen):
+            assert np.array_equal(em.regenerate(t), expected)
+
+    def test_regenerate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianEmulator(10).regenerate(-1)
+
+    def test_dims_scales_output(self):
+        em = GaussianEmulator(10, dims=4)
+        assert em.partition_elements == 40
+        assert em.advance().shape == (40,)
+
+    def test_reset(self):
+        em = GaussianEmulator(32, seed=4)
+        first = em.advance().copy()
+        em.reset()
+        assert np.array_equal(em.advance(), first)
+
+    def test_reuses_buffer(self):
+        # The emulator mimics a simulation overwriting its own output.
+        em = GaussianEmulator(16)
+        a = em.advance()
+        b = em.advance()
+        assert a is b
+
+    @pytest.mark.parametrize("kwargs", [dict(step_elements=0), dict(std=0.0), dict(dims=0)])
+    def test_validation(self, kwargs):
+        base = dict(step_elements=8)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            GaussianEmulator(**base)

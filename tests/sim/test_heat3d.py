@@ -1,0 +1,96 @@
+"""Heat3D: correctness of the decomposed stencil simulation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import spmd_launch
+from repro.sim import Heat3D, reference_heat3d_sequential
+
+SHAPE = (12, 8, 8)
+
+
+class TestSingleRank:
+    def test_partition_shape_and_output(self):
+        sim = Heat3D(SHAPE)
+        out = sim.advance()
+        assert out.shape == (12 * 8 * 8,)
+        assert sim.partition_elements == 12 * 8 * 8
+
+    def test_output_is_view_not_copy(self):
+        sim = Heat3D(SHAPE)
+        out = sim.advance()
+        assert out.base is not None  # time sharing's read pointer
+
+    def test_stability_and_boundedness(self):
+        sim = Heat3D(SHAPE)
+        for _ in range(50):
+            out = sim.advance()
+        assert np.isfinite(out).all()
+        assert out.min() >= sim.cold_value - 1e-9
+        assert out.max() <= sim.hot_value + 1e-9
+
+    def test_heat_diffuses_from_hot_face(self):
+        sim = Heat3D(SHAPE)
+        for _ in range(30):
+            sim.advance()
+        field = sim.interior
+        center_near_hot = field[1, 4, 4]
+        center_far = field[-2, 4, 4]
+        assert center_near_hot > center_far
+
+    def test_deterministic(self):
+        a = Heat3D(SHAPE)
+        b = Heat3D(SHAPE)
+        for _ in range(5):
+            ra, rb = a.advance(), b.advance()
+        assert np.array_equal(ra, rb)
+
+    def test_reset_restores_initial_state(self):
+        sim = Heat3D(SHAPE)
+        initial = sim.interior.copy()
+        sim.advance()
+        sim.reset()
+        assert sim.step == 0
+        assert np.array_equal(sim.interior, initial)
+
+    def test_step_counter(self):
+        sim = Heat3D(SHAPE)
+        sim.advance()
+        sim.advance()
+        assert sim.step == 2
+
+    def test_memory_accounting(self):
+        sim = Heat3D(SHAPE)
+        assert sim.memory_nbytes >= 2 * sim.partition_nbytes
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Heat3D(SHAPE, alpha=0.5)
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError):
+            Heat3D((2, 8, 8))
+
+
+class TestDecomposed:
+    @pytest.mark.parametrize("ranks", [2, 3, 4])
+    def test_matches_sequential_solution(self, ranks):
+        steps = 6
+        reference = reference_heat3d_sequential(SHAPE, steps)
+
+        def body(comm):
+            sim = Heat3D(SHAPE, comm)
+            for _ in range(steps):
+                sim.advance()
+            return sim.interior.copy()
+
+        parts = spmd_launch(ranks, body, timeout=60)
+        assembled = np.concatenate(parts, axis=0)
+        assert np.allclose(assembled, reference)
+
+    def test_partition_sizes_cover_grid(self):
+        def body(comm):
+            return Heat3D(SHAPE, comm).partition_elements
+
+        sizes = spmd_launch(3, body, timeout=30)
+        assert sum(sizes) == 12 * 8 * 8

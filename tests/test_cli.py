@@ -1,0 +1,41 @@
+"""Top-level CLI (`python -m repro`)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInProcess:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "time sharing" in out
+        assert "space sharing" in out
+        assert "offline" in out
+
+    def test_audit_runs(self, capsys):
+        assert main(["audit", "--elements", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "mini-Spark" in out
+        assert "histogram" in out
+
+    def test_figures_lists_help_without_names(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+def test_module_entrypoint_via_subprocess():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "demo"],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0
+    assert "placement" in result.stdout
