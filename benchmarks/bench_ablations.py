@@ -10,7 +10,7 @@ global combination, and in-transit vs hybrid placement.
 import numpy as np
 import pytest
 
-from repro.analytics import Histogram, KMeans, MovingAverage, make_blobs
+from repro.analytics import Histogram, KMeans, make_blobs
 from repro.baselines.minispark import Serializer, shuffle_read, shuffle_write
 from repro.comm import spmd_launch
 from repro.core import (

@@ -9,7 +9,7 @@ and the deltas localize regressions.
 import numpy as np
 import pytest
 
-from repro.comm import SimCluster, spmd_launch
+from repro.comm import spmd_launch
 
 
 @pytest.mark.parametrize("ranks", [2, 4, 8])

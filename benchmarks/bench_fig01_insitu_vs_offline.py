@@ -5,7 +5,6 @@ modeled table) and benchmarks the two pipelines' single-step costs.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import regenerate
 from repro.analytics import KMeans

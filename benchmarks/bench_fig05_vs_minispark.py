@@ -5,7 +5,6 @@ Fig. 5) and regenerates the full figure rows including the thread model
 and memory-footprint audit.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import regenerate

@@ -5,7 +5,6 @@ functional core of the comparison) and regenerates the modeled Xeon Phi
 sweep with its three paper outcomes.
 """
 
-import pytest
 
 from benchmarks.conftest import regenerate
 from repro.analytics import Histogram

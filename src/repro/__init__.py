@@ -13,10 +13,12 @@ Python reproduction of Wang, Agrawal, Bicer & Jiang (SC 2015 / OSU TR
 * :mod:`repro.perfmodel` — calibrated cluster performance model.
 * :mod:`repro.harness` — per-figure experiment runners
   (``python -m repro.harness fig7``).
+* :mod:`repro.telemetry` — the unified runtime-statistics recorder
+  behind ``RunStats``, ``TrafficProfiler``, and the execution engines.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analytics, baselines, comm, core, sim  # noqa: F401
+from . import analytics, baselines, comm, core, sim, telemetry  # noqa: F401
 
-__all__ = ["analytics", "baselines", "comm", "core", "sim", "__version__"]
+__all__ = ["analytics", "baselines", "comm", "core", "sim", "telemetry", "__version__"]

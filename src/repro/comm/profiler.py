@@ -6,17 +6,39 @@ payload bytes moved.  The performance model (``repro.perfmodel``) replays
 these counters with an alpha-beta network model to predict synchronization
 cost at cluster scale, so the counters must reflect what an MPI
 implementation would actually put on the wire.
+
+Since the telemetry unification the profiler is a thin facade over a
+:class:`repro.telemetry.Recorder` (the same primitive the scheduler's
+``RunStats`` and the execution engines write into): each operation kind
+is one recorder op tally.  The public API is unchanged; a profiler can
+also be constructed over an existing recorder to merge communication
+traffic into a scheduler's unified snapshot.
 """
 
 from __future__ import annotations
 
 import pickle
-import threading
-from collections import defaultdict
-from dataclasses import dataclass, field
+import sys
+import warnings
 from typing import Any
 
 import numpy as np
+
+from ..telemetry import OpStats, Recorder
+
+__all__ = ["OpStats", "TrafficProfiler", "payload_nbytes"]
+
+_pickle_fallback_warned = False
+
+
+def _getsizeof_estimate(obj: Any) -> int:
+    """Shallow-recursive ``sys.getsizeof`` fallback for unpicklable payloads."""
+    total = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        total += sum(sys.getsizeof(k) + sys.getsizeof(v) for k, v in obj.items())
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        total += sum(sys.getsizeof(item) for item in obj)
+    return int(total)
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -24,8 +46,11 @@ def payload_nbytes(obj: Any) -> int:
 
     numpy arrays are counted at their buffer size (MPI would send the raw
     buffer); everything else is counted at its pickle size, mirroring how
-    mpi4py transports generic Python objects.
+    mpi4py transports generic Python objects.  Unpicklable payloads fall
+    back to a ``sys.getsizeof``-based estimate (with a one-time warning)
+    rather than silently undercounting the traffic the perfmodel replays.
     """
+    global _pickle_fallback_warned
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
@@ -36,61 +61,64 @@ def payload_nbytes(obj: Any) -> int:
         return 8
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 0
+    except Exception as exc:
+        if not _pickle_fallback_warned:
+            _pickle_fallback_warned = True
+            warnings.warn(
+                f"payload_nbytes: pickling a {type(obj).__name__} failed ({exc!r}); "
+                "falling back to sys.getsizeof estimates for unpicklable payloads "
+                "(traffic counters become approximate)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _getsizeof_estimate(obj)
 
 
-@dataclass
-class OpStats:
-    """Aggregate statistics for one operation kind."""
-
-    calls: int = 0
-    bytes: int = 0
-
-    def add(self, nbytes: int) -> None:
-        self.calls += 1
-        self.bytes += nbytes
-
-
-@dataclass
 class TrafficProfiler:
     """Thread-safe per-operation traffic counters.
 
     A single profiler may be shared by all ranks of a
-    :class:`~repro.comm.sim.SimCluster`; recording is serialized by an
-    internal lock.
+    :class:`~repro.comm.sim.SimCluster`; recording is serialized by the
+    backing recorder's lock.
+
+    Parameters
+    ----------
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder` to account into
+        (e.g. a scheduler's, to unify the snapshot).  A private one is
+        created when omitted.
     """
 
-    stats: dict[str, OpStats] = field(default_factory=lambda: defaultdict(OpStats))
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, recorder: Recorder | None = None):
+        self.recorder = recorder if recorder is not None else Recorder()
 
     def record(self, op: str, payload: Any = None, nbytes: int | None = None) -> None:
         """Record one call of kind ``op`` moving ``payload`` (or ``nbytes``)."""
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
-        with self._lock:
-            self.stats[op].add(size)
+        self.recorder.record_op(op, size)
 
     def reset(self) -> None:
-        with self._lock:
-            self.stats.clear()
+        self.recorder.reset()
 
     def total_bytes(self) -> int:
-        with self._lock:
-            return sum(s.bytes for s in self.stats.values())
+        return sum(self.recorder.op(op).bytes for op in self.recorder.op_names())
 
     def total_calls(self) -> int:
-        with self._lock:
-            return sum(s.calls for s in self.stats.values())
+        return sum(self.recorder.op(op).calls for op in self.recorder.op_names())
 
     def snapshot(self) -> dict[str, tuple[int, int]]:
         """Return ``{op: (calls, bytes)}`` at this instant."""
-        with self._lock:
-            return {op: (s.calls, s.bytes) for op, s in self.stats.items()}
+        ops = self.recorder.snapshot()["ops"]
+        return {op: (s["calls"], s["bytes"]) for op, s in ops.items()}
+
+    @property
+    def stats(self) -> dict[str, OpStats]:
+        """Back-compat view: per-op :class:`OpStats` copies."""
+        ops = self.recorder.snapshot()["ops"]
+        return {op: OpStats(s["calls"], s["bytes"]) for op, s in ops.items()}
 
     def bytes_for(self, op: str) -> int:
-        with self._lock:
-            return self.stats[op].bytes if op in self.stats else 0
+        return self.recorder.op(op).bytes
 
     def calls_for(self, op: str) -> int:
-        with self._lock:
-            return self.stats[op].calls if op in self.stats else 0
+        return self.recorder.op(op).calls

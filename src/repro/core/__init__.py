@@ -15,6 +15,13 @@ Public surface:
 
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .chunk import Chunk, Split, iter_blocks, make_splits
+from .engine import (
+    ExecutionEngine,
+    ProcessEngine,
+    SerialEngine,
+    ThreadEngine,
+    create_engine,
+)
 from .in_transit import InTransitDriver, Placement, split_staging_comm
 from .circular_buffer import BufferClosed, CircularBuffer
 from .maps import KeyedMap
@@ -34,7 +41,12 @@ __all__ = [
     "Chunk",
     "CircularBuffer",
     "CoreSplit",
+    "ExecutionEngine",
     "KeyedMap",
+    "ProcessEngine",
+    "SerialEngine",
+    "ThreadEngine",
+    "create_engine",
     "PipelineStage",
     "RedObj",
     "RunStats",

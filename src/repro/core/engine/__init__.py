@@ -1,0 +1,26 @@
+"""Pluggable intra-rank execution engines (``SchedArgs.engine``).
+
+* :class:`SerialEngine` — deterministic in-order loop (the reference).
+* :class:`ThreadEngine` — persistent thread pool, one per scheduler
+  lifetime (the paper's OpenMP thread-team analogue).
+* :class:`ProcessEngine` — persistent process pool over a
+  shared-memory view of the partition (GIL-free).
+
+All three produce bit-identical combination maps and outputs; the
+equivalence matrix in ``tests/core/test_engines.py`` asserts it for
+every bundled analytics.
+"""
+
+from .base import ExecutionEngine, ReduceFn, create_engine
+from .process import ProcessEngine
+from .serial import SerialEngine
+from .thread import ThreadEngine
+
+__all__ = [
+    "ExecutionEngine",
+    "ProcessEngine",
+    "ReduceFn",
+    "SerialEngine",
+    "ThreadEngine",
+    "create_engine",
+]

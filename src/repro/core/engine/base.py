@@ -1,0 +1,137 @@
+"""The execution-engine interface: *how* splits are reduced.
+
+The paper separates what an analytics computes (Table 1 callbacks) from
+how the runtime executes it (OpenMP threads within a rank, MPI across
+ranks).  The scheduler owns the *what* — blocks, splits, reduction maps,
+combination — and delegates the *how* to an :class:`ExecutionEngine`,
+the intra-rank analogue of the pluggable communicator backends in
+``repro.comm``: the same Algorithm-1 structure runs over a serial loop,
+a persistent thread pool, or a process pool with shared-memory input,
+selected by ``SchedArgs.engine``.
+
+Lifecycle: an engine is created lazily on the scheduler's first run and
+lives for the scheduler's lifetime (``start`` once, ``shutdown`` once —
+asserted by the ``engine.pools_created`` telemetry counter).  Engines
+hold a strong reference to their scheduler only between ``begin_run``
+and ``end_run``, so dropping the scheduler drops the engine and its
+worker pool with it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from ..chunk import Split
+from ..maps import KeyedMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...telemetry import Recorder
+    from ..scheduler import Scheduler
+
+#: ``reduce_fn(split, red_map) -> emitted keys`` — the scheduler-side
+#: callable an in-process engine applies to each split.
+ReduceFn = Callable[[Split, KeyedMap], "list[int]"]
+
+
+class ExecutionEngine(ABC):
+    """Maps splits onto an execution substrate and collects emitted keys.
+
+    Per-engine telemetry (written into the scheduler's recorder):
+
+    * ``engine.pools_created`` — worker pools created over the engine's
+      lifetime (1 for the pooled engines, 0 for serial).
+    * ``engine.splits`` — splits executed.
+    * ``engine.split_seconds`` timer — per-split wall-clock.
+    """
+
+    name: str = "?"
+
+    def __init__(self, num_workers: int, telemetry: "Recorder"):
+        self.num_workers = int(num_workers)
+        self.telemetry = telemetry
+        self._sched: "Scheduler | None" = None
+        self._data: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+        self._multi_key = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Acquire execution resources (worker pools).  Idempotent."""
+
+    def shutdown(self) -> None:
+        """Release execution resources.  Idempotent."""
+
+    def begin_run(
+        self,
+        scheduler: "Scheduler",
+        data: np.ndarray,
+        out: np.ndarray | None,
+        multi_key: bool,
+    ) -> None:
+        """Bind one partition's context for the duration of a run."""
+        self._sched = scheduler
+        self._data = data
+        self._out = out
+        self._multi_key = multi_key
+
+    def end_run(self) -> None:
+        """Drop the per-run context (breaks the scheduler reference cycle)."""
+        self._sched = None
+        self._data = None
+        self._out = None
+
+    def invalidate_state(self) -> None:
+        """Scheduler state changed mid-run (combination phase ran).
+
+        In-process engines see the change for free; the process engine
+        overrides this to re-ship scheduler state to its workers.
+        """
+
+    # -- execution ---------------------------------------------------------
+    @abstractmethod
+    def map_splits(self, splits: Iterable[Split], red_maps: list[KeyedMap]) -> set[int]:
+        """Reduce every split of one block; return the early-emitted keys.
+
+        Each split is reduced against ``red_maps[split.thread_id]``
+        (mutated in place).  In-process engines apply the scheduler's
+        ``reduce_fn`` directly; the process engine runs the same
+        reduction in workers and folds the results back.
+        """
+
+    # -- helpers for subclasses -------------------------------------------
+    def _reduce_fn(self) -> ReduceFn:
+        sched, data, out, multi_key = self._sched, self._data, self._out, self._multi_key
+        assert sched is not None, "map_splits outside begin_run/end_run"
+
+        def reduce_fn(split: Split, red_map: KeyedMap) -> list[int]:
+            return sched._reduce_split(split, red_map, data, out, multi_key)
+
+        return reduce_fn
+
+    def _timed_reduce(self, reduce_fn: ReduceFn, split: Split, red_map: KeyedMap) -> list[int]:
+        with self.telemetry.span("engine.split_seconds"):
+            emitted = reduce_fn(split, red_map)
+        self.telemetry.inc("engine.splits")
+        return emitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.num_workers})"
+
+
+def create_engine(name: str, num_workers: int, telemetry: "Recorder") -> ExecutionEngine:
+    """Instantiate the engine backend registered under ``name``."""
+    from .process import ProcessEngine
+    from .serial import SerialEngine
+    from .thread import ThreadEngine
+
+    engines = {"serial": SerialEngine, "thread": ThreadEngine, "process": ProcessEngine}
+    try:
+        cls = engines[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {sorted(engines)}"
+        ) from None
+    return cls(num_workers, telemetry)

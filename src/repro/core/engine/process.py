@@ -1,0 +1,220 @@
+"""Process engine: GIL-free reduction over shared-memory input.
+
+Workers are a persistent ``multiprocessing`` pool (created once per
+scheduler lifetime, like the thread engine's pool).  Per run, the
+partition is placed in ``multiprocessing.shared_memory`` exactly once;
+each worker reduces zero-copy numpy views of that segment — only the
+per-split reduction maps and the (small) scheduler state cross the
+process boundary, serialized with the same wire format global
+combination uses.  This is the first backend that bypasses the GIL for
+the scalar chunk loop and the vectorized path alike.
+
+Protocol per block:
+
+1. the parent serializes a stripped scheduler clone (callbacks +
+   combination map, no data/comm/telemetry) and each split's reduction
+   map;
+2. each worker attaches to the shared segment, rebuilds the scheduler,
+   runs the ordinary ``_reduce_split`` over its split, and returns the
+   updated reduction map, any early-emitted reduction objects, and its
+   telemetry counter deltas;
+3. the parent folds the maps back into ``red_maps``, converts emitted
+   objects into the output array (emission-at-combination semantics are
+   preserved bit for bit), and merges the counters into the unified
+   recorder.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import pickle
+from multiprocessing import shared_memory
+from typing import Iterable
+
+import numpy as np
+
+from ...telemetry import Recorder
+from ..chunk import Split
+from ..maps import KeyedMap
+from ..serialization import deserialize_map, serialize_map
+from .base import ExecutionEngine
+
+#: Process-local cache of attached shared-memory segments, keyed by name.
+#: A worker serves many splits of the same run; re-attaching per task
+#: would churn file descriptors.  Replaced whenever a new segment name
+#: arrives (one run is in flight at a time per engine).
+_worker_segments: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    segment = _worker_segments.get(name)
+    if segment is None:
+        for stale in _worker_segments.values():
+            stale.close()
+        _worker_segments.clear()
+        # The parent owns the segment's lifetime (it unlinks in end_run).
+        # On Python < 3.13 merely attaching registers the segment with
+        # the resource tracker, which would then warn about (and try to
+        # re-unlink) a segment it does not own — suppress registration
+        # for the duration of the attach.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _worker_segments[name] = segment
+    return segment
+
+
+def _run_split_task(task: tuple) -> tuple[bytes, list[tuple[int, bytes]], dict[str, int]]:
+    """Worker side: reduce one split against the shared partition."""
+    (sched_bytes, shm_name, dtype, n_elems, split, red_map_bytes, multi_key, wants_emitted) = task
+    sched = pickle.loads(sched_bytes)
+    sched.telemetry = Recorder()
+    from ..scheduler import RunStats  # deferred: scheduler imports this module's package
+
+    sched.stats = RunStats(sched.telemetry)
+    segment = _attach_segment(shm_name)
+    data = np.ndarray((n_elems,), dtype=np.dtype(dtype), buffer=segment.buf)
+    sched.data_ = data
+    red_map = deserialize_map(red_map_bytes)
+    emitted_objs: list = []
+    sched._reduce_split(split, red_map, data, None, multi_key, emitted_objs=emitted_objs)
+    emitted_payloads = [
+        (key, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        for key, obj in emitted_objs
+    ] if wants_emitted else [(key, b"") for key, _ in emitted_objs]
+    return (
+        serialize_map(red_map),
+        emitted_payloads,
+        sched.telemetry.snapshot()["counters"],
+    )
+
+
+class ProcessEngine(ExecutionEngine):
+    """Reduce splits on a persistent process pool with shared-memory input."""
+
+    name = "process"
+
+    def __init__(self, num_workers, telemetry):
+        super().__init__(num_workers, telemetry)
+        self._pool: mp.pool.Pool | None = None
+        self._shm: shared_memory.SharedMemory | None = None
+        self._payload: bytes | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = mp.get_context().Pool(processes=self.num_workers)
+            self.telemetry.inc("engine.pools_created")
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._release_segment()
+
+    def __del__(self):  # pragma: no cover - interpreter-exit safety net
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        self._release_segment()
+
+    def begin_run(self, scheduler, data, out, multi_key) -> None:
+        super().begin_run(scheduler, data, out, multi_key)
+        self._release_segment()
+        nbytes = int(data.nbytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        if nbytes:
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=self._shm.buf)
+            np.copyto(view, data)
+            del view
+        self._payload = None
+
+    def end_run(self) -> None:
+        self._release_segment()
+        self._payload = None
+        super().end_run()
+
+    def invalidate_state(self) -> None:
+        """Forget the cached scheduler payload (combination map changed)."""
+        self._payload = None
+
+    def _release_segment(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+            self._shm = None
+
+    # -- execution ---------------------------------------------------------
+    def _scheduler_payload(self) -> bytes:
+        """Pickle the scheduler minus everything workers must not share.
+
+        The clone keeps the user callbacks, ``SchedArgs``, the current
+        combination map (``gen_key`` may consult it — k-means centroids),
+        and the positional context; it drops the input array (workers
+        view it through shared memory), the output array, the feed
+        buffer, the communicator, the engine, and the telemetry recorder
+        (all lock-bearing or parent-owned).  Rebuilt after every
+        combination phase, when the map's contents change.
+        """
+        if self._payload is None:
+            sched = self._sched
+            assert sched is not None
+            clone = copy.copy(sched)
+            clone.data_ = None
+            clone.out_ = None
+            clone.comm = None
+            clone._fed = None
+            clone._engine = None
+            clone.telemetry = None
+            clone.stats = None
+            self._payload = pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._payload
+
+    def map_splits(self, splits: Iterable[Split], red_maps: list[KeyedMap]) -> set[int]:
+        splits = list(splits)
+        if not splits:
+            return set()
+        assert self._pool is not None, "map_splits before start()"
+        assert self._shm is not None and self._data is not None
+        payload = self._scheduler_payload()
+        wants_emitted = self._out is not None
+        tasks = [
+            (
+                payload,
+                self._shm.name,
+                self._data.dtype.str,
+                int(self._data.shape[0]),
+                split,
+                serialize_map(red_maps[split.thread_id]),
+                self._multi_key,
+                wants_emitted,
+            )
+            for split in splits
+        ]
+        with self.telemetry.span("engine.block_seconds"):
+            results = self._pool.map(_run_split_task, tasks)
+        emitted: set[int] = set()
+        sched = self._sched
+        assert sched is not None
+        for split, (map_bytes, emitted_payloads, counters) in zip(splits, results):
+            target = red_maps[split.thread_id]
+            target.clear()
+            for key, obj in deserialize_map(map_bytes).items():
+                target[key] = obj
+            self.telemetry.merge_counters(counters)
+            self.telemetry.inc("engine.splits")
+            for key, obj_bytes in emitted_payloads:
+                if wants_emitted:
+                    sched.convert(pickle.loads(obj_bytes), self._out, key)
+                emitted.add(key)
+        return emitted

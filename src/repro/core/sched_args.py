@@ -8,8 +8,12 @@ space-sharing buffer capacity, and the Fig-9 extra-copy toggle).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
+
+#: Engine backends accepted by :attr:`SchedArgs.engine`.
+ENGINE_NAMES = ("serial", "thread", "process")
 
 
 @dataclass
@@ -35,11 +39,16 @@ class SchedArgs:
         Elements per scheduler block; the runtime processes a partition
         block by block.  ``None`` processes the whole partition as one
         block.
+    engine:
+        Execution backend for the reduction phase: ``"serial"`` (in-order
+        loop, deterministic — the default), ``"thread"`` (persistent
+        thread pool owned by the scheduler), or ``"process"``
+        (persistent process pool over shared-memory input, GIL-free).
+        ``None`` derives the backend from the deprecated ``use_threads``
+        flag.  All backends produce identical results.
     use_threads:
-        When True and ``num_threads > 1``, splits are reduced on a real
-        thread pool.  When False the splits are processed sequentially
-        (same structure, deterministic order) — appropriate on the
-        single-core host this reproduction targets.
+        Deprecated alias: ``use_threads=True`` maps to
+        ``engine="thread"``.  Prefer ``engine=``.
     vectorized:
         Use the application's numpy ``vector_reduce`` fast path when it
         provides one (semantically identical to the chunk loop; tests
@@ -65,6 +74,7 @@ class SchedArgs:
     extra_data: Any = None
     num_iters: int = 1
     block_size: int | None = None
+    engine: str | None = None
     use_threads: bool = False
     vectorized: bool = False
     buffer_capacity: int = 4
@@ -88,3 +98,20 @@ class SchedArgs:
                 f"combine_algorithm must be 'gather' or 'tree', "
                 f"got {self.combine_algorithm!r}"
             )
+        if self.engine is not None and self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_NAMES} or None, got {self.engine!r}"
+            )
+        if self.use_threads:
+            warnings.warn(
+                "SchedArgs(use_threads=True) is deprecated; pass engine='thread'",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def resolved_engine(self) -> str:
+        """The effective backend name (``engine`` or the legacy alias)."""
+        if self.engine is not None:
+            return self.engine
+        return "thread" if self.use_threads else "serial"

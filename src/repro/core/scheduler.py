@@ -33,25 +33,42 @@ output array plus the key instead of ``out[key]``.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
 
 from ..comm.interface import Communicator
 from ..comm.local import LocalComm
+from ..telemetry import Recorder
 from .chunk import Chunk, Split, iter_blocks, make_splits
 from .circular_buffer import CircularBuffer
+from .engine import ExecutionEngine, create_engine
 from .maps import KeyedMap
 from .red_obj import RedObj, ensure_red_obj
 from .sched_args import SchedArgs
 from .serialization import global_combine
 
 
-@dataclass
+def _run_counter(name: str) -> property:
+    """A RunStats attribute backed by the ``run.<name>`` telemetry counter."""
+    key = f"run.{name}"
+
+    def getter(self: "RunStats") -> int:
+        return self.recorder.counter(key)
+
+    def setter(self: "RunStats", value: int) -> None:
+        self.recorder.set_counter(key, value)
+
+    return property(getter, setter)
+
+
 class RunStats:
     """Counters maintained by the scheduler across :meth:`Scheduler.run` calls.
+
+    Back-compat view over the scheduler's unified telemetry
+    :class:`~repro.telemetry.Recorder`: every attribute reads and writes
+    the ``run.*`` counter of the same name, so ``scheduler.stats`` and
+    ``scheduler.telemetry_snapshot()`` can never disagree.
 
     ``peak_red_objects`` is the memory-efficiency headline number: the
     maximum simultaneous count of reduction objects held across all
@@ -59,18 +76,34 @@ class RunStats:
     4.1-4.2 reason entirely in these units).
     """
 
-    chunks_processed: int = 0
-    accumulate_calls: int = 0
-    early_emissions: int = 0
-    iterations_run: int = 0
-    runs: int = 0
-    peak_red_objects: int = 0
-    global_combinations: int = 0
-    extra: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("recorder", "extra")
+
+    chunks_processed = _run_counter("chunks_processed")
+    accumulate_calls = _run_counter("accumulate_calls")
+    early_emissions = _run_counter("early_emissions")
+    iterations_run = _run_counter("iterations_run")
+    runs = _run_counter("runs")
+    peak_red_objects = _run_counter("peak_red_objects")
+    global_combinations = _run_counter("global_combinations")
+
+    def __init__(self, recorder: Recorder | None = None, **initial: int):
+        self.recorder = recorder if recorder is not None else Recorder()
+        self.extra: dict[str, Any] = {}
+        for name, value in initial.items():
+            setattr(self, name, value)
 
     def observe_objects(self, count: int) -> None:
-        if count > self.peak_red_objects:
-            self.peak_red_objects = count
+        self.recorder.observe_max("run.peak_red_objects", count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in (
+                "chunks_processed", "accumulate_calls", "early_emissions",
+                "iterations_run", "runs", "peak_red_objects", "global_combinations",
+            )
+        )
+        return f"RunStats({fields})"
 
 
 class Scheduler:
@@ -101,7 +134,9 @@ class Scheduler:
         self.args = args
         self.comm: Communicator = comm if comm is not None else LocalComm()
         self.combination_map_ = KeyedMap()
-        self.stats = RunStats()
+        self.telemetry = Recorder()
+        self.stats = RunStats(self.telemetry)
+        self._engine: ExecutionEngine | None = None
         self._global_combination = True
         self._fed: CircularBuffer | None = None
         self._extra_processed = False
@@ -282,11 +317,67 @@ class Scheduler:
         self.out_ = None
 
     def reset_stats(self) -> None:
-        self.stats = RunStats()
+        """Zero the ``run.*`` counters (engine-lifetime counters persist)."""
+        self.telemetry.reset(prefix="run.")
 
     def current_state_nbytes(self) -> int:
         """Approximate bytes held in the combination map right now."""
         return self.combination_map_.state_nbytes()
+
+    # ------------------------------------------------------------------
+    # Execution engine + telemetry
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The intra-rank execution engine (created lazily, started once).
+
+        The backend is chosen by ``SchedArgs.engine`` at first use and
+        lives for the scheduler's lifetime — pooled engines create
+        exactly one worker pool (telemetry counter
+        ``engine.pools_created``).  Call :meth:`close` to release it.
+        """
+        if self._engine is None:
+            self._engine = create_engine(
+                self.args.resolved_engine, self.args.num_threads, self.telemetry
+            )
+            self._engine.start()
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down the execution engine (worker pools).  Idempotent.
+
+        A closed scheduler may run again: the next run recreates the
+        engine (and its pool) from ``SchedArgs``.
+        """
+        if self._engine is not None:
+            self._engine.shutdown()
+            self._engine = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def telemetry_snapshot(self) -> dict:
+        """One structured snapshot of every runtime statistic.
+
+        Merges the scheduler's recorder (``run.*`` counters,
+        ``engine.*`` counters and timers) with the communicator's
+        traffic profiler (as ``comm.*`` ops) and live state gauges, so
+        harnesses, calibration, and benchmarks read a single view.
+        """
+        snap = self.telemetry.snapshot()
+        snap["engine"] = (
+            self._engine.name if self._engine is not None else self.args.resolved_engine
+        )
+        snap["counters"]["run.state_nbytes"] = self.combination_map_.state_nbytes()
+        snap["counters"]["run.state_objects"] = len(self.combination_map_)
+        profiler = getattr(self.comm, "profiler", None)
+        if profiler is not None:
+            for op, (calls, nbytes) in profiler.snapshot().items():
+                snap["ops"][f"comm.{op}"] = {"calls": calls, "bytes": nbytes}
+        return snap
 
     # ------------------------------------------------------------------
     # Internals
@@ -346,49 +437,46 @@ class Scheduler:
         args = self.args
         self.process_extra_data(args.extra_data, self.combination_map_)
 
+        engine = self.engine
+        engine.begin_run(self, arr, out, multi_key)
+        # Scoped per iteration: a key early-emitted in one iteration may be
+        # rebuilt by a later one, and only the *final* iteration decides
+        # whether the convert sweep below must still write it.
         emitted: set[int] = set()
-        for iteration in range(args.num_iters):
-            self.stats.iterations_run += 1
-            red_maps = self._make_reduction_maps()
-            for bstart, bstop in iter_blocks(n, args.block_size):
-                splits = make_splits(bstart, bstop, args.num_threads, args.chunk_size)
-                if args.use_threads and args.num_threads > 1 and len(splits) > 1:
-                    with ThreadPoolExecutor(max_workers=args.num_threads) as pool:
-                        for keys in pool.map(
-                            lambda s: self._reduce_split(
-                                s, red_maps[s.thread_id], arr, out, multi_key
-                            ),
-                            splits,
-                        ):
-                            emitted.update(keys)
-                else:
-                    for split in splits:
-                        emitted.update(
-                            self._reduce_split(
-                                split, red_maps[split.thread_id], arr, out, multi_key
-                            )
-                        )
-                self.stats.observe_objects(
-                    sum(len(m) for m in red_maps) + len(self.combination_map_)
-                )
-            # Local combination: per-thread reduction maps fold into the
-            # local combination map (Algorithm 1 lines 11-17).
-            for red_map in red_maps:
-                self.combination_map_.merge_map(red_map, self.merge)
-            # Global combination + redistribution (lines 3-4 of the next
-            # iteration happen here as the broadcast back).
-            if self._global_combination and self.comm.size > 1:
-                self.combination_map_ = global_combine(
-                    self.comm, self.combination_map_, self.merge,
-                    algorithm=args.combine_algorithm,
-                )
-                self.stats.global_combinations += 1
-            self.post_combine(self.combination_map_)
-            self.stats.observe_objects(len(self.combination_map_))
-            if self.converged(self.combination_map_, iteration):
-                # The map is identical on all ranks after global
-                # combination, so every rank breaks together.
-                break
+        try:
+            for iteration in range(args.num_iters):
+                self.telemetry.inc("run.iterations_run")
+                emitted = set()
+                red_maps = self._make_reduction_maps()
+                for bstart, bstop in iter_blocks(n, args.block_size):
+                    splits = make_splits(
+                        bstart, bstop, args.num_threads, args.chunk_size
+                    )
+                    emitted.update(engine.map_splits(splits, red_maps))
+                    self.stats.observe_objects(
+                        sum(len(m) for m in red_maps) + len(self.combination_map_)
+                    )
+                # Local combination: per-thread reduction maps fold into the
+                # local combination map (Algorithm 1 lines 11-17).
+                for red_map in red_maps:
+                    self.combination_map_.merge_map(red_map, self.merge)
+                # Global combination + redistribution (lines 3-4 of the next
+                # iteration happen here as the broadcast back).
+                if self._global_combination and self.comm.size > 1:
+                    self.combination_map_ = global_combine(
+                        self.comm, self.combination_map_, self.merge,
+                        algorithm=args.combine_algorithm,
+                    )
+                    self.telemetry.inc("run.global_combinations")
+                self.post_combine(self.combination_map_)
+                engine.invalidate_state()
+                self.stats.observe_objects(len(self.combination_map_))
+                if self.converged(self.combination_map_, iteration):
+                    # The map is identical on all ranks after global
+                    # combination, so every rank breaks together.
+                    break
+        finally:
+            engine.end_run()
 
         if out is not None:
             out_len = out.shape[0]
@@ -414,10 +502,16 @@ class Scheduler:
         data: np.ndarray,
         out: np.ndarray | None,
         multi_key: bool,
+        emitted_objs: list[tuple[int, RedObj]] | None = None,
     ) -> list[int]:
-        """Reduce one split chunk by chunk (Algorithm 2); return emitted keys."""
+        """Reduce one split chunk by chunk (Algorithm 2); return emitted keys.
+
+        ``emitted_objs`` is the process engine's capture hook: when given,
+        early-emitted objects are appended to it instead of converted here
+        (the parent process converts them into its output array).
+        """
         if self.args.vectorized and self.has_vector_path:
-            return self._reduce_split_vectorized(split, red_map, data, out)
+            return self._reduce_split_vectorized(split, red_map, data, out, emitted_objs)
         com_map = self.combination_map_
         emitted: list[int] = []
         key_buf: list[int] = []
@@ -447,13 +541,16 @@ class Scheduler:
                 accumulates_n += 1
                 if allow_emission and red_obj.trigger():
                     # Early emission (Algorithm 2 lines 5-7).
-                    if out is not None:
+                    if emitted_objs is not None:
+                        emitted_objs.append((key, red_obj))
+                    elif out is not None:
                         self.convert(red_obj, out, key)
                     del red_map[key]
                     emitted.append(key)
-        self.stats.chunks_processed += chunks_n
-        self.stats.accumulate_calls += accumulates_n
-        self.stats.early_emissions += len(emitted)
+        self.telemetry.inc("run.chunks_processed", chunks_n)
+        self.telemetry.inc("run.accumulate_calls", accumulates_n)
+        if emitted:
+            self.telemetry.inc("run.early_emissions", len(emitted))
         return emitted
 
     def _reduce_split_vectorized(
@@ -462,21 +559,25 @@ class Scheduler:
         red_map: KeyedMap,
         data: np.ndarray,
         out: np.ndarray | None,
+        emitted_objs: list[tuple[int, RedObj]] | None = None,
     ) -> list[int]:
         """Vectorized fast path: app-provided bulk reduction + trigger sweep."""
         self.vector_reduce(data, split.start, split.stop, red_map)
         n_chunks = -(-len(split) // self.args.chunk_size)
-        self.stats.chunks_processed += n_chunks
-        self.stats.accumulate_calls += n_chunks
+        self.telemetry.inc("run.chunks_processed", n_chunks)
+        self.telemetry.inc("run.accumulate_calls", n_chunks)
         emitted: list[int] = []
         if self.args.disable_early_emission:
             return emitted
         for key in [k for k, obj in red_map.items() if obj.trigger()]:
-            if out is not None:
+            if emitted_objs is not None:
+                emitted_objs.append((key, red_map[key]))
+            elif out is not None:
                 self.convert(red_map[key], out, key)
             del red_map[key]
             emitted.append(key)
-        self.stats.early_emissions += len(emitted)
+        if emitted:
+            self.telemetry.inc("run.early_emissions", len(emitted))
         return emitted
 
 

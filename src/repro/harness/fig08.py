@@ -9,6 +9,10 @@ from the calibrated per-element costs.
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..analytics import Histogram
+from ..core import SchedArgs
 from ..perfmodel import MULTICORE_CLUSTER, NodeWorkload, model_time_sharing
 from .profiles import ALL_NINE, FIRST_FIVE, SECTION54_PASSES, WINDOW_FOUR, app_model, sim_model
 from .reporting import format_seconds, print_table
@@ -63,3 +67,58 @@ def run(threads: tuple[int, ...] = (1, 2, 4, 8)) -> dict:
         "first_five_avg": first_five,
         "window_avg": window,
     }
+
+
+def run_measured(
+    threads: tuple[int, ...] = (1, 2, 4),
+    engines: tuple[str, ...] = ("serial", "thread"),
+    elements: int = 200_000,
+    seed: int = 8,
+) -> dict:
+    """Measured companion to the modeled figure: the same thread sweep,
+    but on this host's actual execution engines, read from the unified
+    telemetry snapshot (``engine.split_seconds`` / ``engine.splits``)
+    instead of the cluster model.  Numbers are honest for this machine —
+    on a single-core host the pooled engines will not beat serial.
+    """
+    data = np.random.default_rng(seed).normal(size=elements)
+    measured: dict[str, dict[int, dict]] = {}
+    rows = []
+    for engine in engines:
+        measured[engine] = {}
+        for t in threads:
+            with Histogram(
+                SchedArgs(num_threads=t, engine=engine, vectorized=True),
+                lo=-4, hi=4, num_buckets=1200,
+            ) as app:
+                app.run(data)
+                snap = app.telemetry_snapshot()
+            # In-process engines time each split; the process engine
+            # times whole blocks on the parent side of the pool.
+            timers = snap["timers"]
+            reduce_timer = timers.get("engine.split_seconds") or timers.get(
+                "engine.block_seconds", {}
+            )
+            cell = {
+                "engine": snap["engine"],
+                "splits": snap["counters"].get("engine.splits", 0),
+                "split_seconds": reduce_timer.get("seconds", 0.0),
+                "chunks": snap["counters"]["run.chunks_processed"],
+            }
+            measured[engine][t] = cell
+            rows.append(
+                [
+                    engine,
+                    str(t),
+                    str(cell["splits"]),
+                    f"{cell['split_seconds'] * 1e3:.2f} ms",
+                    str(cell["chunks"]),
+                ]
+            )
+    print_table(
+        f"Figure 8 (measured): engine thread sweep on this host "
+        f"(histogram, {elements} elements)",
+        ["engine", "threads", "splits", "split time", "chunks"],
+        rows,
+    )
+    return measured

@@ -19,7 +19,6 @@ circular buffer, blocking) is executed first to validate the machinery.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..analytics import Histogram
 from ..core import CoreSplit, SchedArgs, SpaceSharingDriver

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analytics import MovingAverage, MovingMedian
+from ..analytics import MovingAverage
 from ..core import SchedArgs, TimeSharingDriver
 from ..perfmodel import MULTICORE_CLUSTER, MemoryModel, NodeWorkload, model_time_sharing
-from ..sim import Heat3D, LuleshProxy
+from ..sim import Heat3D
 from .profiles import (
     HEAT3D_MEMORY_FACTOR_FIG11,
     MEDIAN_OBJ_BYTES,

@@ -60,7 +60,7 @@ def audit_histogram(data: np.ndarray, buckets: int = 100) -> AuditRow:
         return AuditRow(
             app="histogram",
             input_bytes=data.nbytes,
-            smart_state_bytes=smart.current_state_nbytes(),
+            smart_state_bytes=smart.telemetry_snapshot()["counters"]["run.state_nbytes"],
             spark_peak_pair_bytes=PAIR_BYTES * ctx.peak_partition_elements,
             spark_serialized_bytes=ctx.serializer.bytes_serialized,
         )
@@ -80,7 +80,7 @@ def audit_kmeans(data: np.ndarray, k: int = 8, dims: int = 8, iters: int = 3) ->
         return AuditRow(
             app="kmeans",
             input_bytes=flat.nbytes,
-            smart_state_bytes=smart.current_state_nbytes(),
+            smart_state_bytes=smart.telemetry_snapshot()["counters"]["run.state_nbytes"],
             spark_peak_pair_bytes=PAIR_BYTES * ctx.peak_partition_elements,
             spark_serialized_bytes=ctx.serializer.bytes_serialized,
         )
@@ -100,7 +100,7 @@ def audit_logreg(data: np.ndarray, dims: int = 15, iters: int = 3) -> AuditRow:
         return AuditRow(
             app="logistic_regression",
             input_bytes=flat.nbytes,
-            smart_state_bytes=smart.current_state_nbytes(),
+            smart_state_bytes=smart.telemetry_snapshot()["counters"]["run.state_nbytes"],
             spark_peak_pair_bytes=PAIR_BYTES * ctx.peak_partition_elements,
             spark_serialized_bytes=ctx.serializer.bytes_serialized,
         )

@@ -94,7 +94,7 @@ def _app_cost(name: str, scheduler, data: np.ndarray, multi_key: bool,
 
     t_full = _time(body(data))
     t_small = _time(body(small))
-    state = scheduler.current_state_nbytes()
+    state = scheduler.telemetry_snapshot()["counters"]["run.state_nbytes"]
     from ..core.serialization import serialize_map
 
     sync = float(len(serialize_map(scheduler.get_combination_map())))
@@ -174,7 +174,7 @@ def calibrate_window_kernels(
         from ..core.serialization import serialize_map
 
         return (
-            float(app.current_state_nbytes()),
+            float(app.telemetry_snapshot()["counters"]["run.state_nbytes"]),
             float(len(serialize_map(app.get_combination_map()))),
         )
 

@@ -1,6 +1,5 @@
 """Mini-Spark engine: RDD semantics, shuffle, and structural costs."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.minispark import (

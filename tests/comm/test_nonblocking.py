@@ -1,6 +1,5 @@
 """Nonblocking point-to-point API (isend/irecv/sendrecv)."""
 
-import pytest
 
 from repro.comm import LocalComm, Request, spmd_launch
 

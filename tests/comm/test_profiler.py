@@ -1,8 +1,12 @@
 """Traffic profiler accounting."""
 
+import threading
+
 import numpy as np
+import pytest
 
 from repro.comm import TrafficProfiler, payload_nbytes, spmd_launch
+from repro.telemetry import Recorder
 
 
 class TestPayloadSizing:
@@ -22,6 +26,46 @@ class TestPayloadSizing:
 
     def test_objects_use_pickle_size(self):
         assert payload_nbytes({"k": [1, 2, 3]}) > 0
+
+
+class TestUnpicklableFallback:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self, monkeypatch):
+        from repro.comm import profiler
+
+        monkeypatch.setattr(profiler, "_pickle_fallback_warned", False)
+
+    def test_falls_back_to_getsizeof_with_one_warning(self):
+        unpicklable = {"lock": threading.Lock(), "data": [1, 2, 3]}
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            size = payload_nbytes(unpicklable)
+        assert size > 0
+
+    def test_warns_only_once(self):
+        with pytest.warns(RuntimeWarning):
+            payload_nbytes(threading.Lock())
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert payload_nbytes(threading.Lock()) > 0  # no second warning
+
+    def test_record_survives_unpicklable_payload(self):
+        prof = TrafficProfiler()
+        with pytest.warns(RuntimeWarning):
+            prof.record("send", threading.Lock())
+        assert prof.calls_for("send") == 1
+        assert prof.bytes_for("send") > 0
+
+
+class TestRecorderBackedProfiler:
+    def test_shared_recorder_unifies_accounting(self):
+        rec = Recorder()
+        prof = TrafficProfiler(recorder=rec)
+        prof.record("bcast", nbytes=128)
+        assert rec.op("bcast").bytes == 128
+        assert prof.snapshot() == {"bcast": (1, 128)}
+        assert prof.stats["bcast"].calls == 1
 
 
 class TestCounters:

@@ -1,0 +1,303 @@
+"""Execution-engine equivalence matrix and lifecycle guarantees.
+
+Every backend (serial / thread / process) must produce bit-identical
+combination maps, outputs, and consistent run statistics for every
+bundled analytics — including the early-emission (``run2`` window) and
+``seed_reduction_maps`` (iterative) paths, scalar and vectorized alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    CountObj,
+    Histogram,
+    KMeans,
+    LogisticRegression,
+    MovingAverage,
+    MovingMedian,
+    make_blobs,
+    make_logreg_samples,
+)
+from repro.core import SchedArgs, Scheduler, SerialEngine, ThreadEngine, create_engine
+
+ENGINES = ("serial", "thread", "process")
+
+STAT_NAMES = ("chunks_processed", "accumulate_calls", "early_emissions", "runs")
+
+
+def _stats_tuple(app):
+    return tuple(getattr(app.stats, name) for name in STAT_NAMES)
+
+
+def _map_items(app):
+    return app.get_combination_map().sorted_items()
+
+
+@pytest.fixture(scope="module")
+def scalars():
+    return np.random.default_rng(42).normal(size=4096)
+
+
+class TestEquivalenceMatrix:
+    """Serial is ground truth; thread and process must match it exactly."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("vectorized", [False, True], ids=["scalar", "vector"])
+    def test_histogram(self, scalars, engine, vectorized):
+        def run(name):
+            app = Histogram(
+                SchedArgs(num_threads=3, engine=name, vectorized=vectorized),
+                lo=-4, hi=4, num_buckets=32,
+            )
+            app.run(scalars)
+            counts = {k: v.count for k, v in _map_items(app)}
+            stats = _stats_tuple(app)
+            app.close()
+            return counts, stats
+
+        ref_counts, ref_stats = run("serial")
+        counts, stats = run(engine)
+        assert counts == ref_counts
+        assert stats == ref_stats
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("vectorized", [False, True], ids=["scalar", "vector"])
+    def test_kmeans_seeded_iterative(self, engine, vectorized):
+        flat, _ = make_blobs(800, 4, 6, seed=3)
+        init = flat.reshape(-1, 4)[:6].copy()
+
+        def run(name):
+            app = KMeans(
+                SchedArgs(
+                    chunk_size=4, num_iters=5, extra_data=init,
+                    num_threads=2, engine=name, vectorized=vectorized,
+                ),
+                dims=4,
+            )
+            app.run(flat)
+            centroids = app.centroids()
+            stats = _stats_tuple(app)
+            app.close()
+            return centroids, stats
+
+        ref_centroids, ref_stats = run("serial")
+        centroids, stats = run(engine)
+        assert np.array_equal(centroids, ref_centroids)  # bit-identical
+        assert stats == ref_stats
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_logistic_regression_iterative(self, engine):
+        flat, _ = make_logreg_samples(300, 7, seed=5)
+
+        def run(name):
+            app = LogisticRegression(
+                SchedArgs(chunk_size=8, num_iters=3, num_threads=2,
+                          engine=name, vectorized=True),
+                dims=7,
+            )
+            app.run(flat)
+            weights = app.weights.copy()
+            app.close()
+            return weights
+
+        assert np.array_equal(run(engine), run("serial"))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("app_cls", [MovingAverage, MovingMedian])
+    def test_window_run2_early_emission(self, scalars, engine, app_cls):
+        data = scalars[:600]
+
+        def run(name):
+            app = app_cls(SchedArgs(num_threads=3, engine=name), win_size=7)
+            out = np.full(len(data), np.nan)
+            app.run2(data, out)
+            stats = _stats_tuple(app)
+            app.close()
+            return out, stats
+
+        ref_out, ref_stats = run("serial")
+        out, stats = run(engine)
+        assert np.array_equal(out, ref_out, equal_nan=True)
+        assert stats == ref_stats
+        assert not np.isnan(out[3:-3]).any()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_blocked_streaming(self, scalars, engine):
+        """block_size interacts with per-block dispatch in every engine."""
+        app = Histogram(
+            SchedArgs(num_threads=2, engine=engine, block_size=500),
+            lo=-4, hi=4, num_buckets=16,
+        )
+        app.run(scalars)
+        ref = Histogram(SchedArgs(), lo=-4, hi=4, num_buckets=16)
+        ref.run(scalars)
+        assert {k: v.count for k, v in _map_items(app)} == {
+            k: v.count for k, v in _map_items(ref)
+        }
+        app.close()
+
+
+class TestEngineLifecycle:
+    def test_thread_engine_single_pool_per_scheduler_lifetime(self, scalars):
+        """The pool is created exactly once across runs, blocks, and resets."""
+        app = Histogram(
+            SchedArgs(num_threads=4, engine="thread", block_size=256),
+            lo=-4, hi=4, num_buckets=16,
+        )
+        for _ in range(3):
+            app.run(scalars)
+        app.reset()
+        app.run(scalars)
+        assert app.telemetry.counter("engine.pools_created") == 1
+        app.close()
+
+    def test_process_engine_single_pool_across_runs(self, scalars):
+        app = Histogram(
+            SchedArgs(num_threads=2, engine="process"), lo=-4, hi=4, num_buckets=16
+        )
+        app.run(scalars[:512])
+        app.run(scalars[:512])
+        assert app.telemetry.counter("engine.pools_created") == 1
+        app.close()
+
+    def test_close_then_rerun_recreates_engine(self, scalars):
+        app = Histogram(
+            SchedArgs(num_threads=2, engine="thread"), lo=-4, hi=4, num_buckets=16
+        )
+        app.run(scalars[:256])
+        app.close()
+        app.run(scalars[:256])  # engine recreated transparently
+        assert app.telemetry.counter("engine.pools_created") == 2
+        app.close()
+
+    def test_context_manager_closes(self, scalars):
+        with Histogram(
+            SchedArgs(num_threads=2, engine="thread"), lo=-4, hi=4, num_buckets=8
+        ) as app:
+            app.run(scalars[:128])
+            assert app._engine is not None
+        assert app._engine is None
+
+    def test_serial_engine_creates_no_pool(self, scalars):
+        app = Histogram(SchedArgs(engine="serial"), lo=-4, hi=4, num_buckets=8)
+        app.run(scalars[:128])
+        assert app.telemetry.counter("engine.pools_created") == 0
+        assert isinstance(app.engine, SerialEngine)
+        app.close()
+
+    def test_split_telemetry_recorded(self, scalars):
+        app = Histogram(
+            SchedArgs(num_threads=2, engine="thread"), lo=-4, hi=4, num_buckets=8
+        )
+        app.run(scalars[:512])
+        snap = app.telemetry_snapshot()
+        assert snap["engine"] == "thread"
+        assert snap["counters"]["engine.splits"] == 2
+        assert snap["timers"]["engine.split_seconds"]["calls"] == 2
+        app.close()
+
+
+class TestEngineSelection:
+    def test_use_threads_alias_resolves_to_thread_engine(self):
+        with pytest.deprecated_call():
+            args = SchedArgs(num_threads=2, use_threads=True)
+        assert args.resolved_engine == "thread"
+        app = Histogram(args, lo=-1, hi=1, num_buckets=4)
+        app.run(np.zeros(16))
+        assert isinstance(app.engine, ThreadEngine)
+        app.close()
+
+    def test_explicit_engine_wins_over_alias(self):
+        with pytest.deprecated_call():
+            args = SchedArgs(engine="serial", use_threads=True)
+        assert args.resolved_engine == "serial"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SchedArgs(engine="gpu")
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_engine("gpu", 1, None)
+
+    def test_default_is_serial(self):
+        assert SchedArgs().resolved_engine == "serial"
+
+
+class ArmedCount(CountObj):
+    """A counter that early-emits only while armed (module level so the
+    process engine can pickle it across the worker boundary)."""
+
+    __slots__ = ("armed", "trigger_at")
+
+    def __init__(self, armed: bool, trigger_at: int):
+        super().__init__()
+        self.armed = armed
+        self.trigger_at = trigger_at
+
+    def trigger(self):
+        return self.armed and self.count >= self.trigger_at
+
+
+class RearmableCounter(Scheduler):
+    """Iterative app whose reduction object triggers only while armed.
+
+    Iteration 0 early-emits key 0; later iterations rebuild it without
+    triggering — the final convert sweep must then write the rebuilt
+    value (regression for the cross-iteration ``emitted`` leak).
+    """
+
+    def __init__(self, args, trigger_at=3):
+        super().__init__(args)
+        self.armed = True
+        self.trigger_at = trigger_at
+
+    def accumulate(self, chunk, data, red_obj, key):
+        if red_obj is None:
+            red_obj = ArmedCount(self.armed, self.trigger_at)
+        red_obj.count += 1
+        red_obj.armed = self.armed
+        return red_obj
+
+    def merge(self, red_obj, com_obj):
+        com_obj.count += red_obj.count
+        return com_obj
+
+    def post_combine(self, combination_map):
+        self.armed = False  # later iterations never trigger
+
+    def convert(self, red_obj, out, key):
+        out[key] = red_obj.count
+
+
+class TestEmittedScopedPerIteration:
+    """Satellite regression: the ``emitted`` set must not leak across
+    iterations — a key emitted in iteration 0 whose object is rebuilt by
+    the final iteration must be written by the convert sweep."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_rebuilt_key_is_converted(self, engine):
+        app = RearmableCounter(SchedArgs(num_iters=2, engine=engine))
+        out = np.full(1, np.nan)
+        app.run(np.zeros(5), out)
+        # Iteration 0: trigger at count 3 emits out[0]=3, the remaining 2
+        # elements leave count=2 in the combination map.  Iteration 1
+        # (disarmed) adds 5 more without emitting.  The sweep must
+        # overwrite the stale early-emitted 3 with the final 7.
+        assert out[0] == 7
+        assert app.stats.early_emissions == 1
+        app.close()
+
+    def test_single_iteration_emission_still_skipped_by_sweep(self):
+        writes = []
+
+        class CountingConvert(RearmableCounter):
+            def convert(self, red_obj, out, key):
+                writes.append(key)
+                super().convert(red_obj, out, key)
+
+        app = CountingConvert(SchedArgs(num_iters=1), trigger_at=5)
+        out = np.full(1, np.nan)
+        app.run(np.zeros(5), out)
+        # Emitted in the (only) iteration: converted once, not re-swept.
+        assert writes == [0]
+        assert out[0] == 5

@@ -40,7 +40,6 @@ class TestPlacement:
             Placement(0, 4, 4)
 
     def test_invalid_mode(self):
-        from repro.comm import LocalComm
 
         with pytest.raises(ValueError, match="mode"):
             InTransitDriver(_FakeComm(0, 3), 1, mode="offline")

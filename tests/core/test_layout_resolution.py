@@ -1,7 +1,6 @@
 """Automatic global-offset/total-length resolution for positional analytics."""
 
 import numpy as np
-import pytest
 
 from repro.analytics import MovingAverage, reference_moving_average
 from repro.comm import spmd_launch

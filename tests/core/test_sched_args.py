@@ -16,11 +16,35 @@ class TestDefaults:
     def test_repro_extension_defaults(self):
         args = SchedArgs()
         assert args.block_size is None
+        assert args.engine is None
         assert args.use_threads is False
         assert args.vectorized is False
         assert args.copy_input is False
         assert args.disable_early_emission is False
         assert args.buffer_capacity == 4
+
+
+class TestEngineField:
+    def test_default_resolves_to_serial(self):
+        assert SchedArgs().resolved_engine == "serial"
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_known_engines_accepted(self, name):
+        assert SchedArgs(engine=name).resolved_engine == name
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SchedArgs(engine="cuda")
+
+    def test_use_threads_alias_warns_and_resolves_to_thread(self):
+        with pytest.deprecated_call():
+            args = SchedArgs(use_threads=True)
+        assert args.resolved_engine == "thread"
+
+    def test_explicit_engine_overrides_alias(self):
+        with pytest.deprecated_call():
+            args = SchedArgs(engine="process", use_threads=True)
+        assert args.resolved_engine == "process"
 
 
 class TestValidation:

@@ -7,7 +7,6 @@ let hypothesis hunt for configurations that break it.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Space-sharing with window (run2) analytics — the multi-key consumer path."""
 
 import numpy as np
-import pytest
 
 from repro.analytics import MovingAverage, reference_moving_average
 from repro.core import CoreSplit, SchedArgs, SpaceSharingDriver

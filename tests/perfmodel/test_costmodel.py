@@ -8,7 +8,6 @@ from repro.core import CoreSplit
 from repro.perfmodel import (
     AnalyticsModel,
     MULTICORE_CLUSTER,
-    MemoryModel,
     NodeWorkload,
     SimulationModel,
     XEON_PHI_CLUSTER,

@@ -30,7 +30,7 @@ from repro.core import (
     TimeSharingDriver,
     merge_distributed_output,
 )
-from repro.sim import GaussianEmulator, Heat3D, LuleshProxy
+from repro.sim import GaussianEmulator, Heat3D
 
 
 class TestNineApplicationsOnHeat3D:

@@ -1,9 +1,8 @@
 """Multi-variable in-situ analytics: MI between two simulation fields."""
 
 import numpy as np
-import pytest
 
-from repro.analytics import MutualInformation, reference_mutual_information
+from repro.analytics import MutualInformation
 from repro.comm import spmd_launch
 from repro.core import SchedArgs
 from repro.sim import LuleshProxy
