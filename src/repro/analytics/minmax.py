@@ -13,7 +13,7 @@ import numpy as np
 
 from ..core.chunk import Chunk
 from ..core.maps import KeyedMap
-from ..core.red_obj import RedObj
+from ..core.red_obj import Field, RedObj
 from ..core.scheduler import Scheduler
 
 
@@ -25,6 +25,9 @@ class MinMaxObj(RedObj):
     def __init__(self):
         self.lo = np.inf
         self.hi = -np.inf
+
+    def fields(self):
+        return (Field("lo", np.float64, "min"), Field("hi", np.float64, "max"))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"MinMaxObj(lo={self.lo}, hi={self.hi})"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.red_obj import RedObj
+from ..core.red_obj import Field, RedObj
 
 
 class CountObj(RedObj):
@@ -14,6 +14,9 @@ class CountObj(RedObj):
 
     def __init__(self, count: int = 0):
         self.count = int(count)
+
+    def fields(self):
+        return (Field("count", np.int64, "sum"),)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"CountObj(count={self.count})"
@@ -27,6 +30,9 @@ class SumCountObj(RedObj):
     def __init__(self, total: float = 0.0, count: int = 0):
         self.total = float(total)
         self.count = int(count)
+
+    def fields(self):
+        return (Field("total", np.float64, "sum"), Field("count", np.int64, "sum"))
 
     @property
     def mean(self) -> float:
@@ -55,6 +61,15 @@ class WindowSumObj(RedObj):
         self.total = float(total)
         self.count = int(count)
 
+    def fields(self):
+        # win_size is identical for every window of a run, so "max" is a
+        # correct merge (and keeps the schema allreduce-eligible).
+        return (
+            Field("total", np.float64, "sum"),
+            Field("count", np.int64, "sum"),
+            Field("win_size", np.int64, "max"),
+        )
+
     def trigger(self) -> bool:
         return self.count == self.win_size
 
@@ -76,6 +91,14 @@ class WeightedWindowObj(RedObj):
         self.wsum = 0.0
         self.wtotal = 0.0
         self.count = 0
+
+    def fields(self):
+        return (
+            Field("wsum", np.float64, "sum"),
+            Field("wtotal", np.float64, "sum"),
+            Field("count", np.int64, "sum"),
+            Field("win_size", np.int64, "max"),
+        )
 
     def trigger(self) -> bool:
         return self.count == self.win_size
@@ -137,6 +160,17 @@ class GradientObj(RedObj):
         self.count = 0
         self.loss = 0.0
 
+    def fields(self):
+        # weights ride along identically on every rank (the model is
+        # global state), so the combination side keeps its own copy.
+        dims = self.weights.shape[0]
+        return (
+            Field("weights", np.float64, "keep", (dims,)),
+            Field("grad", np.float64, "sum", (dims,)),
+            Field("count", np.int64, "sum"),
+            Field("loss", np.float64, "sum"),
+        )
+
     def nbytes(self) -> int:
         return 64 + self.weights.nbytes + self.grad.nbytes
 
@@ -150,6 +184,16 @@ class ClusterObj(RedObj):
         self.centroid = np.asarray(centroid, dtype=np.float64).copy()
         self.vec_sum = np.zeros_like(self.centroid)
         self.size = 0
+
+    def fields(self):
+        # The centroid is recomputed from sum/size by update() and is
+        # identical on every rank between combinations: keep, not sum.
+        dims = self.centroid.shape[0]
+        return (
+            Field("centroid", np.float64, "keep", (dims,)),
+            Field("vec_sum", np.float64, "sum", (dims,)),
+            Field("size", np.int64, "sum"),
+        )
 
     def update(self) -> None:
         """Recompute the centroid from sum/size, then reset both.

@@ -97,6 +97,18 @@ class TrafficProfiler:
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         self.recorder.record_op(op, size)
 
+    def record_wire(self, wire_format: str, nbytes: int) -> None:
+        """Account one serialized combination-map payload per wire format.
+
+        Global combination tallies every payload it produces under
+        ``wire.<format>`` (``wire.pickle`` / ``wire.columnar`` /
+        ``wire.allreduce``), separate from the transport ops that move
+        it, so format regressions show up directly in byte terms: the
+        columnar formats should move strictly fewer bytes than pickle
+        for the same combination maps.
+        """
+        self.recorder.record_op(f"wire.{wire_format}", int(nbytes))
+
     def reset(self) -> None:
         self.recorder.reset()
 

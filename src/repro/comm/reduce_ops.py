@@ -57,6 +57,55 @@ class ReduceOp:
         return acc
 
 
+#: Schema merge names (``repro.core.red_obj.Field.merge``) that map to
+#: elementwise ufuncs.  A columnar combination map whose every field names
+#: one of these can be globally combined by a contiguous allreduce.
+MERGE_UFUNCS: dict[str, np.ufunc] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def merge_identity(merge: str, dtype: Any) -> Any:
+    """Identity element of a schema merge for ``dtype``.
+
+    Used to pad a rank's packed records out to the global key union
+    before the contiguous allreduce: a key the rank never touched must
+    contribute nothing to any field.
+    """
+    dt = np.dtype(dtype)
+    if merge == "sum":
+        return 0
+    if merge == "prod":
+        return 1
+    if merge == "min":
+        return np.inf if dt.kind == "f" else np.iinfo(dt).max
+    if merge == "max":
+        return -np.inf if dt.kind == "f" else np.iinfo(dt).min
+    raise ValueError(f"no identity for merge {merge!r}")
+
+
+def structured_reduce_op(
+    names: Sequence[str], merges: Sequence[str]
+) -> ReduceOp:
+    """A :class:`ReduceOp` over structured record arrays.
+
+    Each field combines with its own ufunc (``MERGE_UFUNCS[merge]``),
+    applied in place on the accumulator — the per-field analogue of
+    ``MPI_Allreduce`` with a user-defined op on a derived datatype.
+    """
+    pairs = [(name, MERGE_UFUNCS[m]) for name, m in zip(names, merges)]
+
+    def combine(acc: Any, value: Any) -> Any:
+        for name, ufunc in pairs:
+            ufunc(acc[name], value[name], out=acc[name])
+        return acc
+
+    return ReduceOp("structured", combine)
+
+
 SUM = ReduceOp("sum", _np_pairwise(np.add))
 PROD = ReduceOp("prod", _np_pairwise(np.multiply))
 MAX = ReduceOp("max", _np_pairwise(np.maximum))

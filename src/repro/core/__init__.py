@@ -26,10 +26,17 @@ from .in_transit import InTransitDriver, Placement, split_staging_comm
 from .circular_buffer import BufferClosed, CircularBuffer
 from .maps import KeyedMap
 from .pipeline import PipelineStage, SmartPipeline
-from .red_obj import RedObj, ensure_red_obj
+from .red_obj import Field, RedObj, ensure_red_obj
 from .sched_args import SchedArgs
 from .scheduler import RunStats, Scheduler, merge_distributed_output
-from .serialization import deserialize_map, global_combine, serialize_map
+from .serialization import (
+    WIRE_FORMATS,
+    PackedMap,
+    deserialize_map,
+    global_combine,
+    pack_map,
+    serialize_map,
+)
 from .space_sharing import CoreSplit, SpaceSharingDriver, SpaceSharingResult
 from .time_sharing import StepTiming, TimeSharingDriver, TimeSharingResult
 
@@ -42,7 +49,11 @@ __all__ = [
     "CircularBuffer",
     "CoreSplit",
     "ExecutionEngine",
+    "Field",
     "KeyedMap",
+    "PackedMap",
+    "WIRE_FORMATS",
+    "pack_map",
     "ProcessEngine",
     "SerialEngine",
     "ThreadEngine",

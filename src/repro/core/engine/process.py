@@ -13,15 +13,18 @@ Protocol per block:
 
 1. the parent serializes a stripped scheduler clone (callbacks +
    combination map, no data/comm/telemetry) and each split's reduction
-   map;
+   map (with the scheduler's configured wire format — columnar maps
+   cross the process boundary as contiguous packed buffers);
 2. each worker attaches to the shared segment, rebuilds the scheduler,
    runs the ordinary ``_reduce_split`` over its split, and returns the
    updated reduction map, any early-emitted reduction objects, and its
-   telemetry counter deltas;
-3. the parent folds the maps back into ``red_maps``, converts emitted
-   objects into the output array (emission-at-combination semantics are
-   preserved bit for bit), and merges the counters into the unified
-   recorder.
+   telemetry counter deltas.  Large return payloads travel through a
+   worker-created shared-memory segment (the parent copies and unlinks
+   it) instead of the pool's result pipe;
+3. the parent folds the maps back into ``red_maps`` via the trusted
+   bulk path, converts emitted objects into the output array
+   (emission-at-combination semantics are preserved bit for bit), and
+   merges the counters into the unified recorder.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from __future__ import annotations
 import copy
 import multiprocessing as mp
 import pickle
+from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Iterable
 
@@ -37,8 +41,35 @@ import numpy as np
 from ...telemetry import Recorder
 from ..chunk import Split
 from ..maps import KeyedMap
-from ..serialization import deserialize_map, serialize_map
+from ..serialization import deserialize_map, serialize_map, wire_format_of
 from .base import ExecutionEngine
+
+#: Return payloads at least this large travel via a shared-memory segment
+#: instead of the pool's result pipe (pipe transfers re-copy through the
+#: pickle layer; shm is one bulk copy each side).
+_SHM_RETURN_MIN = 1 << 16
+
+
+@contextmanager
+def _untracked_shm():
+    """Suppress resource-tracker registration for a SharedMemory call.
+
+    Segment lifetimes here are owned explicitly (the parent unlinks its
+    input segment in ``end_run``; return segments are unlinked by the
+    parent as soon as they are drained).  On Python < 3.13 creating or
+    attaching would also register the segment with the resource tracker,
+    which would then warn about — and try to re-unlink — segments it
+    does not own.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original_register
+
 
 #: Process-local cache of attached shared-memory segments, keyed by name.
 #: A worker serves many splits of the same run; re-attaching per task
@@ -53,24 +84,40 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         for stale in _worker_segments.values():
             stale.close()
         _worker_segments.clear()
-        # The parent owns the segment's lifetime (it unlinks in end_run).
-        # On Python < 3.13 merely attaching registers the segment with
-        # the resource tracker, which would then warn about (and try to
-        # re-unlink) a segment it does not own — suppress registration
-        # for the duration of the attach.
-        from multiprocessing import resource_tracker
-
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
+        with _untracked_shm():
             segment = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original_register
         _worker_segments[name] = segment
     return segment
 
 
-def _run_split_task(task: tuple) -> tuple[bytes, list[tuple[int, bytes]], dict[str, int]]:
+def _export_payload(payload: bytes):
+    """Worker side: hand a payload to the parent, via shm when large."""
+    if len(payload) < _SHM_RETURN_MIN:
+        return ("raw", payload)
+    with _untracked_shm():
+        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    name = segment.name
+    segment.close()  # the parent unlinks after draining
+    return ("shm", name, len(payload))
+
+
+def _import_payload(ref) -> bytes:
+    """Parent side: drain a worker payload reference (unlinking shm)."""
+    if ref[0] == "raw":
+        return ref[1]
+    _kind, name, length = ref
+    with _untracked_shm():
+        segment = shared_memory.SharedMemory(name=name)
+    try:
+        payload = bytes(segment.buf[:length])
+    finally:
+        segment.close()
+        segment.unlink()
+    return payload
+
+
+def _run_split_task(task: tuple) -> tuple:
     """Worker side: reduce one split against the shared partition."""
     (sched_bytes, shm_name, dtype, n_elems, split, red_map_bytes, multi_key, wants_emitted) = task
     sched = pickle.loads(sched_bytes)
@@ -84,13 +131,17 @@ def _run_split_task(task: tuple) -> tuple[bytes, list[tuple[int, bytes]], dict[s
     red_map = deserialize_map(red_map_bytes)
     emitted_objs: list = []
     sched._reduce_split(split, red_map, data, None, multi_key, emitted_objs=emitted_objs)
-    emitted_payloads = [
-        (key, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-        for key, obj in emitted_objs
-    ] if wants_emitted else [(key, b"") for key, _ in emitted_objs]
+    emitted_keys = [key for key, _ in emitted_objs]
+    emitted_payload = (
+        pickle.dumps([obj for _, obj in emitted_objs], protocol=pickle.HIGHEST_PROTOCOL)
+        if wants_emitted and emitted_objs
+        else b""
+    )
+    map_payload = serialize_map(red_map, sched.args.wire_format)
     return (
-        serialize_map(red_map),
-        emitted_payloads,
+        _export_payload(map_payload),
+        emitted_keys,
+        emitted_payload,
         sched.telemetry.snapshot()["counters"],
     )
 
@@ -188,33 +239,42 @@ class ProcessEngine(ExecutionEngine):
         assert self._shm is not None and self._data is not None
         payload = self._scheduler_payload()
         wants_emitted = self._out is not None
-        tasks = [
-            (
-                payload,
-                self._shm.name,
-                self._data.dtype.str,
-                int(self._data.shape[0]),
-                split,
-                serialize_map(red_maps[split.thread_id]),
-                self._multi_key,
-                wants_emitted,
+        sched = self._sched
+        assert sched is not None
+        wire_format = sched.args.wire_format
+        tasks = []
+        for split in splits:
+            map_payload = serialize_map(red_maps[split.thread_id], wire_format)
+            self.telemetry.record_op(
+                f"engine.wire.{wire_format_of(map_payload)}", len(map_payload)
             )
-            for split in splits
-        ]
+            tasks.append(
+                (
+                    payload,
+                    self._shm.name,
+                    self._data.dtype.str,
+                    int(self._data.shape[0]),
+                    split,
+                    map_payload,
+                    self._multi_key,
+                    wants_emitted,
+                )
+            )
         with self.telemetry.span("engine.block_seconds"):
             results = self._pool.map(_run_split_task, tasks)
         emitted: set[int] = set()
-        sched = self._sched
-        assert sched is not None
-        for split, (map_bytes, emitted_payloads, counters) in zip(splits, results):
-            target = red_maps[split.thread_id]
-            target.clear()
-            for key, obj in deserialize_map(map_bytes).items():
-                target[key] = obj
+        for split, (map_ref, emitted_keys, emitted_payload, counters) in zip(
+            splits, results
+        ):
+            map_bytes = _import_payload(map_ref)
+            self.telemetry.record_op(
+                f"engine.wire.{wire_format_of(map_bytes)}", len(map_bytes)
+            )
+            red_maps[split.thread_id].replace_contents(deserialize_map(map_bytes))
             self.telemetry.merge_counters(counters)
             self.telemetry.inc("engine.splits")
-            for key, obj_bytes in emitted_payloads:
-                if wants_emitted:
-                    sched.convert(pickle.loads(obj_bytes), self._out, key)
-                emitted.add(key)
+            if wants_emitted and emitted_keys:
+                for key, obj in zip(emitted_keys, pickle.loads(emitted_payload)):
+                    sched.convert(obj, self._out, key)
+            emitted.update(emitted_keys)
         return emitted

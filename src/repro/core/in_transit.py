@@ -156,7 +156,10 @@ class InTransitDriver:
             else:
                 runner = local_scheduler.run2 if multi_key else local_scheduler.run
                 runner(partition)
-                payload = serialize_map(local_scheduler.get_combination_map())
+                payload = serialize_map(
+                    local_scheduler.get_combination_map(),
+                    local_scheduler.args.wire_format,
+                )
                 local_scheduler.reset()
                 shipped += len(payload)
             self.comm.send(payload, dest=dest, tag=tag)
@@ -206,7 +209,9 @@ class InTransitDriver:
         from .serialization import global_combine
 
         scheduler.combination_map_ = global_combine(
-            scheduler.comm, scheduler.combination_map_, scheduler.merge
+            scheduler.comm, scheduler.combination_map_, scheduler.merge,
+            algorithm=scheduler.args.combine_algorithm,
+            wire_format=scheduler.args.wire_format,
         )
         scheduler.post_combine(scheduler.combination_map_)
         return scheduler.combination_map_

@@ -9,7 +9,7 @@ merge-or-move rule of Algorithm 1 lines 11-17 lives in
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from .red_obj import RedObj, ensure_red_obj
 
@@ -31,6 +31,31 @@ class KeyedMap:
         if initial:
             for key, obj in initial.items():
                 self[key] = obj
+
+    @classmethod
+    def from_trusted_items(
+        cls, items: "Iterable[tuple[int, RedObj]]"
+    ) -> "KeyedMap":
+        """Bulk-construct from already-validated ``(int, RedObj)`` pairs.
+
+        The wire-format codecs produce objects this runtime serialized
+        itself, so re-validating each through ``__setitem__`` /
+        ``ensure_red_obj`` on the hot combine path is pure overhead —
+        this constructor adopts the pairs directly.  Never hand it
+        user-supplied objects.
+        """
+        fresh = cls()
+        fresh._d = dict(items)
+        return fresh
+
+    def replace_contents(self, other: "KeyedMap") -> None:
+        """Adopt ``other``'s entries wholesale (trusted, in place).
+
+        Used by engines folding worker-returned maps back into the
+        per-thread reduction maps without per-object re-validation.
+        """
+        self._d.clear()
+        self._d.update(other._d)
 
     # -- dict-like surface -------------------------------------------------
     def __len__(self) -> int:
@@ -96,6 +121,27 @@ class KeyedMap:
         items = other.items() if hasattr(other, "items") else other
         for key, obj in items:
             self.merge_in(key, obj, merge)
+
+    def merge_packed(self, packed, merge: MergeFn) -> None:
+        """Merge a :class:`~repro.core.serialization.PackedMap` into this map.
+
+        When this map packs to the same schema, the merge runs entirely
+        in array land — ``np.searchsorted`` key alignment plus one ufunc
+        per field — and objects materialize once at the end, instead of
+        one Python ``merge()`` call per key.  Heterogeneous or
+        schemaless maps fall back to object-by-object merging.
+        """
+        from .serialization import pack_map  # deferred: serialization imports maps
+
+        if not self._d:
+            self._d = packed.to_map()._d
+            return
+        mine = pack_map(self)
+        if mine is not None and mine.mergeable_with(packed):
+            mine.merge_from(packed)
+            self._d = mine.to_map()._d
+        else:
+            self.merge_map(packed.to_map(), merge)
 
     def clone(self) -> "KeyedMap":
         """Deep copy (clones every reduction object)."""

@@ -17,7 +17,39 @@ from __future__ import annotations
 import copy
 import pickle
 import sys
-from typing import Any
+from typing import Any, NamedTuple
+
+
+class Field(NamedTuple):
+    """One column of a reduction object's columnar wire-format schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name on the reduction object; the default
+        :meth:`RedObj.pack_into` / :meth:`RedObj.unpack_from` copy the
+        attribute of the same name into/out of the packed record.
+    dtype:
+        NumPy dtype-like for the column (e.g. ``np.float64``).
+    merge:
+        How two packed values of this field combine during global
+        combination: a ufunc name (``"sum"``, ``"min"``, ``"max"``,
+        ``"prod"``), ``"keep"`` (keep the combination-side value — for
+        fields that are identical on every rank, such as a window size
+        or the current k-means centroid), or ``None`` (no columnar
+        merge; the map falls back to the Python ``merge()`` callback).
+        When *every* field of a schema names a true ufunc, global
+        combination can short-circuit to a contiguous allreduce — the
+        hand-written-MPI shape of the paper's Section 5.3.
+    shape:
+        Subarray shape for vector-valued fields (e.g. ``(dims,)`` for a
+        k-means centroid); ``()`` for scalars.
+    """
+
+    name: str
+    dtype: Any
+    merge: str | None = None
+    shape: tuple[int, ...] = ()
 
 
 class RedObj:
@@ -66,6 +98,50 @@ class RedObj:
         if hasattr(self, "__dict__"):
             total += sum(sys.getsizeof(v) for v in self.__dict__.values())
         return total
+
+    # -- columnar wire-format schema (paper Section 5.3 optimization) ------
+    def fields(self) -> tuple[Field, ...] | None:
+        """Columnar schema: one :class:`Field` per packed attribute.
+
+        Returning ``None`` (the default) marks the object *schemaless*:
+        maps holding it serialize through pickle, reproducing the
+        noncontiguous-object overhead the paper measures.  Objects with
+        fixed-layout state should return a schema so combination maps
+        can travel as one contiguous keys-array plus one structured
+        records-array, and merges can run as per-field ufuncs instead of
+        per-object Python calls.
+
+        The schema may depend on instance state (e.g. the feature
+        dimensionality of a k-means centroid), but every object sharing
+        a map must produce the same dtype or the codec falls back to
+        pickle.
+        """
+        return None
+
+    def pack_into(self, rec) -> None:
+        """Write this object's schema fields into one structured record.
+
+        The default copies each schema field's attribute of the same
+        name; override only when the packed layout differs from the
+        attribute layout.
+        """
+        fields = self.fields()
+        assert fields is not None, "pack_into on a schemaless RedObj"
+        for field in fields:
+            rec[field.name] = getattr(self, field.name)
+
+    @classmethod
+    def unpack_from(cls, rec) -> "RedObj":
+        """Rebuild an object from one structured record (inverse of
+        :meth:`pack_into`).  The default bypasses ``__init__`` and sets
+        each field's attribute directly, converting numpy scalars back
+        to Python numbers so unpacked objects are indistinguishable from
+        ones that never crossed the wire."""
+        obj = cls.__new__(cls)
+        for name in rec.dtype.names:
+            value = rec[name]
+            setattr(obj, name, value.item() if value.ndim == 0 else value.copy())
+        return obj
 
     # -- serialization (global combination wire format) -------------------
     def to_bytes(self) -> bytes:

@@ -65,8 +65,19 @@ class SchedArgs:
         Figure 11 compares against.
     combine_algorithm:
         Global-combination algorithm: ``"gather"`` (the paper's
-        merge-on-master) or ``"tree"`` (binomial reduce, merging work
-        spread across ranks).
+        merge-on-master), ``"tree"`` (binomial reduce, merging work
+        spread across ranks), or ``"allreduce"`` (contiguous elementwise
+        reduce of packed records — the hand-written-MPI shape of the
+        paper's Section 5.3; requires every schema field to declare a
+        merge ufunc, otherwise falls back to ``"gather"``).
+    wire_format:
+        Global-combination wire format: ``"pickle"`` (the paper's
+        design point — reduction objects serialized noncontiguously,
+        the overhead Section 5.3 measures) or ``"columnar"`` (maps with
+        a :class:`~repro.core.red_obj.Field` schema travel as one
+        contiguous keys-array plus one structured records-array and are
+        merged with per-field ufuncs; schemaless maps still fall back
+        to pickle).
     """
 
     num_threads: int = 1
@@ -81,6 +92,7 @@ class SchedArgs:
     copy_input: bool = False
     disable_early_emission: bool = False
     combine_algorithm: str = "gather"
+    wire_format: str = "pickle"
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -93,10 +105,15 @@ class SchedArgs:
             raise ValueError(f"block_size must be >= 1 or None, got {self.block_size}")
         if self.buffer_capacity < 1:
             raise ValueError(f"buffer_capacity must be >= 1, got {self.buffer_capacity}")
-        if self.combine_algorithm not in ("gather", "tree"):
+        if self.combine_algorithm not in ("gather", "tree", "allreduce"):
             raise ValueError(
-                f"combine_algorithm must be 'gather' or 'tree', "
+                f"combine_algorithm must be 'gather', 'tree', or 'allreduce', "
                 f"got {self.combine_algorithm!r}"
+            )
+        if self.wire_format not in ("pickle", "columnar"):
+            raise ValueError(
+                f"wire_format must be 'pickle' or 'columnar', "
+                f"got {self.wire_format!r}"
             )
         if self.engine is not None and self.engine not in ENGINE_NAMES:
             raise ValueError(

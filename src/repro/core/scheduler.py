@@ -466,6 +466,7 @@ class Scheduler:
                     self.combination_map_ = global_combine(
                         self.comm, self.combination_map_, self.merge,
                         algorithm=args.combine_algorithm,
+                        wire_format=args.wire_format,
                     )
                     self.telemetry.inc("run.global_combinations")
                 self.post_combine(self.combination_map_)

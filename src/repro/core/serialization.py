@@ -1,38 +1,303 @@
-"""Wire format for global combination.
+"""Wire formats for global combination.
 
 The paper (Section 5.3) attributes Smart's small overhead versus
 hand-written MPI code to exactly this step: reduction objects live
 noncontiguously in a map, so the global combination must serialize them
 before communicating, whereas the manual implementation calls
-``MPI_Allreduce`` on one contiguous array.  We reproduce that design point
-faithfully: combination maps are pickled into a single bytes payload per
-rank, moved through the communicator, and merged on the master.  The
-traffic profiler therefore sees realistic byte volumes, and Fig. 6's
-overhead experiment measures this code path.
+``MPI_Allreduce`` on one contiguous array.  Two wire formats reproduce
+both sides of that comparison:
+
+* ``"pickle"`` (default) — the design point the paper measures:
+  combination maps are pickled object by object into one payload per
+  rank, moved through the communicator, and merged on the master with
+  per-object Python ``merge()`` calls.  Fig. 6's overhead experiment
+  measures this path.
+* ``"columnar"`` — the optimization that closes the gap: a map whose
+  reduction objects declare a :class:`~repro.core.red_obj.Field` schema
+  is packed into one contiguous ``int64`` keys-array plus one structured
+  records-array (:class:`PackedMap`).  Merging aligns keys with
+  ``np.searchsorted`` and combines each field with its merge ufunc —
+  no per-object Python calls — and when *every* field names a true
+  ufunc, the gather algorithm short-circuits to a contiguous allreduce
+  through :mod:`repro.comm.reduce_ops`, the exact shape of the paper's
+  hand-written baseline.  Schemaless or heterogeneous maps fall back to
+  pickle transparently.
+
+Payloads are self-describing (columnar ones carry a magic prefix), so
+``deserialize_map`` accepts either format — including pickle payloads
+written by older checkpoints.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import TYPE_CHECKING
+import struct
+from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
+from ..comm.reduce_ops import MERGE_UFUNCS, merge_identity, structured_reduce_op
 from .maps import KeyedMap, MergeFn
+from .red_obj import RedObj
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..comm.interface import Communicator
 
+#: Wire formats accepted by :func:`serialize_map` / ``SchedArgs.wire_format``.
+WIRE_FORMATS = ("pickle", "columnar")
 
-def serialize_map(com_map: KeyedMap) -> bytes:
-    """Encode a combination map as ``[(key, RedObj)]`` pickle payload."""
+_COLUMNAR_MAGIC = b"SMCOL1\n"
+_COLUMNAR_HEADER = struct.Struct("<II")  # (schema-header length, record count)
+
+
+def _schema_dtype(fields) -> np.dtype:
+    return np.dtype(
+        [
+            (f.name, f.dtype) if not f.shape else (f.name, f.dtype, f.shape)
+            for f in fields
+        ]
+    )
+
+
+class PackedMap:
+    """A combination map as two contiguous arrays: keys plus records.
+
+    ``keys`` is a sorted ``int64`` array; ``records`` is a structured
+    array of the reduction-object schema, row ``i`` packing the object
+    under ``keys[i]``.  ``merges`` names each field's combination rule
+    (see :class:`~repro.core.red_obj.Field`).  This is the contiguous
+    representation the paper's hand-written MPI code reduces directly.
+    """
+
+    __slots__ = ("cls", "keys", "records", "merges")
+
+    def __init__(
+        self,
+        cls: type,
+        keys: np.ndarray,
+        records: np.ndarray,
+        merges: Sequence[str | None],
+    ):
+        self.cls = cls
+        self.keys = keys
+        self.records = records
+        self.merges = tuple(merges)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedMap({self.cls.__name__}, {len(self.keys)} keys)"
+
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.records.nbytes)
+
+    @property
+    def vector_mergeable(self) -> bool:
+        """True when every field declares a columnar merge rule."""
+        return all(m in MERGE_UFUNCS or m == "keep" for m in self.merges)
+
+    @property
+    def allreduce_eligible(self) -> bool:
+        """True when every field merges by a true ufunc (no ``keep``),
+        so global combination can be one contiguous allreduce."""
+        return all(m in MERGE_UFUNCS for m in self.merges)
+
+    def mergeable_with(self, other: "PackedMap") -> bool:
+        return (
+            other.cls is self.cls
+            and other.records.dtype == self.records.dtype
+            and other.merges == self.merges
+            and self.vector_mergeable
+        )
+
+    # -- vectorized combination kernel ---------------------------------
+    def merge_from(self, other: "PackedMap") -> None:
+        """Merge ``other`` in (``other`` plays the red side: ``keep``
+        fields retain *this* map's values on matched keys).
+
+        Key alignment is one ``searchsorted``; each field merges with
+        one ufunc call over all matched keys; unmatched keys move in
+        wholesale — the columnar equivalent of Algorithm 1 lines 12-16.
+        """
+        if not self.mergeable_with(other):
+            raise ValueError(
+                f"cannot columnar-merge {other!r} into {self!r}: schema mismatch"
+            )
+        b_keys = other.keys
+        if not len(b_keys):
+            return
+        a_keys = self.keys
+        if not len(a_keys):
+            self.keys = b_keys.copy()
+            self.records = other.records.copy()
+            return
+        idx = np.searchsorted(a_keys, b_keys)
+        safe = np.minimum(idx, len(a_keys) - 1)
+        matched = a_keys[safe] == b_keys
+        if matched.any():
+            targets = safe[matched]
+            for name, merge in zip(self.records.dtype.names, self.merges):
+                ufunc = MERGE_UFUNCS.get(merge)
+                if ufunc is None:  # "keep": combination side wins
+                    continue
+                col = self.records[name]
+                col[targets] = ufunc(col[targets], other.records[name][matched])
+        fresh = ~matched
+        if fresh.any():
+            keys = np.concatenate([a_keys, b_keys[fresh]])
+            records = np.concatenate([self.records, other.records[fresh]])
+            order = np.argsort(keys, kind="stable")
+            self.keys = keys[order]
+            self.records = records[order]
+
+    def expand_to(self, union_keys: np.ndarray) -> np.ndarray:
+        """Records over ``union_keys``, identity-padded where this map
+        has no entry — the pre-allreduce contribution buffer."""
+        records = _identity_records(self.records.dtype, self.merges, len(union_keys))
+        if len(self.keys):
+            records[np.searchsorted(union_keys, self.keys)] = self.records
+        return records
+
+    # -- object materialization ----------------------------------------
+    def to_map(self) -> KeyedMap:
+        """Materialize reduction objects (trusted bulk construction)."""
+        cls = self.cls
+        records = self.records
+        n = len(records)
+        if cls.unpack_from.__func__ is RedObj.unpack_from.__func__:
+            # Default attribute-mapped unpacking: extract each column once
+            # (C-speed) instead of introspecting per record.
+            names = records.dtype.names
+            columns = []
+            for name in names:
+                col = records[name]
+                columns.append(col.tolist() if col.ndim == 1 else list(col.copy()))
+            objs = []
+            new = cls.__new__
+            for i in range(n):
+                obj = new(cls)
+                for name, col in zip(names, columns):
+                    setattr(obj, name, col[i])
+                objs.append(obj)
+        else:
+            objs = [cls.unpack_from(records[i]) for i in range(n)]
+        return KeyedMap.from_trusted_items(zip(self.keys.tolist(), objs))
+
+    # -- wire encoding --------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = pickle.dumps(
+            (self.cls, self.records.dtype, self.merges),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return b"".join(
+            [
+                _COLUMNAR_MAGIC,
+                _COLUMNAR_HEADER.pack(len(header), len(self.keys)),
+                header,
+                np.ascontiguousarray(self.keys).tobytes(),
+                np.ascontiguousarray(self.records).tobytes(),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PackedMap":
+        base = len(_COLUMNAR_MAGIC)
+        header_len, n = _COLUMNAR_HEADER.unpack_from(payload, base)
+        offset = base + _COLUMNAR_HEADER.size
+        red_cls, dtype, merges = pickle.loads(payload[offset : offset + header_len])
+        offset += header_len
+        keys = np.frombuffer(payload, dtype=np.int64, count=n, offset=offset)
+        offset += keys.nbytes
+        records = np.frombuffer(payload, dtype=dtype, count=n, offset=offset)
+        # frombuffer views over bytes are read-only; merging needs writable.
+        return cls(red_cls, keys.copy(), records.copy(), merges)
+
+
+def _identity_records(dtype: np.dtype, merges, n: int) -> np.ndarray:
+    records = np.zeros(n, dtype=dtype)
+    for name, merge in zip(dtype.names, merges):
+        records[name] = merge_identity(merge, dtype.fields[name][0].base)
+    return records
+
+
+def pack_map(com_map: KeyedMap) -> PackedMap | None:
+    """Encode a homogeneous, schema-bearing map columnar.
+
+    Returns ``None`` when the map is empty, holds objects of mixed
+    classes, is schemaless (``fields()`` is ``None``), or the objects'
+    state does not fit the declared dtype (e.g. ragged vector fields) —
+    callers then fall back to the pickle wire format.
+    """
+    n = len(com_map)
+    if n == 0:
+        return None
+    objs = list(com_map.values())
+    first = objs[0]
+    cls = type(first)
+    if any(type(o) is not cls for o in objs):
+        return None
+    fields = first.fields()
+    if not fields:
+        return None
+    try:
+        records = np.empty(n, dtype=_schema_dtype(fields))
+        if cls.pack_into is RedObj.pack_into:
+            # Default attribute-mapped packing: one bulk assignment per
+            # column instead of one record-view write per field per object.
+            for field in fields:
+                name = field.name
+                records[name] = [getattr(o, name) for o in objs]
+        else:
+            for i, obj in enumerate(objs):
+                obj.pack_into(records[i])
+        keys = np.fromiter(com_map.keys(), dtype=np.int64, count=n)
+    except (TypeError, ValueError):
+        return None
+    order = np.argsort(keys, kind="stable")
+    return PackedMap(cls, keys[order], records[order], [f.merge for f in fields])
+
+
+def serialize_map(com_map: KeyedMap, wire_format: str = "pickle") -> bytes:
+    """Encode a combination map for the wire.
+
+    ``"pickle"`` produces the paper-faithful ``[(key, RedObj)]`` pickle
+    payload; ``"columnar"`` produces a :class:`PackedMap` encoding when
+    the map carries a schema and falls back to pickle otherwise.
+    """
+    if wire_format not in WIRE_FORMATS:
+        raise ValueError(
+            f"wire_format must be one of {WIRE_FORMATS}, got {wire_format!r}"
+        )
+    if wire_format == "columnar":
+        packed = pack_map(com_map)
+        if packed is not None:
+            return packed.to_bytes()
     return pickle.dumps(list(com_map.items()), protocol=pickle.HIGHEST_PROTOCOL)
 
 
+def wire_format_of(payload: bytes) -> str:
+    """Which wire format produced ``payload`` (``"pickle"``/``"columnar"``)."""
+    return "columnar" if payload.startswith(_COLUMNAR_MAGIC) else "pickle"
+
+
+def _decode(payload: bytes) -> KeyedMap | PackedMap:
+    if payload.startswith(_COLUMNAR_MAGIC):
+        return PackedMap.from_bytes(payload)
+    return KeyedMap.from_trusted_items(pickle.loads(payload))
+
+
 def deserialize_map(payload: bytes) -> KeyedMap:
-    """Inverse of :func:`serialize_map`."""
-    fresh = KeyedMap()
-    for key, obj in pickle.loads(payload):
-        fresh[key] = obj
-    return fresh
+    """Inverse of :func:`serialize_map` (accepts either wire format)."""
+    decoded = _decode(payload)
+    return decoded.to_map() if isinstance(decoded, PackedMap) else decoded
+
+
+def _record_wire(comm: "Communicator", payload: bytes) -> None:
+    """Per-format byte accounting: tally this payload under ``wire.<fmt>``."""
+    profiler = getattr(comm, "profiler", None)
+    if profiler is not None:
+        profiler.record_wire(wire_format_of(payload), len(payload))
 
 
 def global_combine(
@@ -40,42 +305,122 @@ def global_combine(
     local_map: KeyedMap,
     merge: MergeFn,
     algorithm: str = "gather",
+    wire_format: str = "pickle",
 ) -> KeyedMap:
     """Combine every rank's local combination map into the global one.
 
-    Two algorithms are provided (both end with every rank holding the
+    Three algorithms are provided (each ends with every rank holding the
     identical global map — the redistribution of Algorithm 1 lines 3-4):
 
     * ``"gather"`` — the paper's description: local maps are gathered to
       the master (rank 0), merged there in rank order, and broadcast
-      back.  Master-side work scales with the rank count.
+      back.  Master-side work scales with the rank count.  With the
+      columnar wire format, when every schema field declares a merge
+      ufunc this algorithm short-circuits to the allreduce below.
     * ``"tree"`` — recursive-halving merge: ranks pairwise-merge maps up
       a binomial tree (log2 rounds, merging work parallelized across
       ranks), then the root broadcasts.  The classic MPI_Reduce shape;
       preferable when maps are large or ranks are many.
+    * ``"allreduce"`` — the hand-written-MPI shape (Section 5.3): ranks
+      agree on the key union, identity-pad their packed records to it,
+      and reduce the contiguous buffers elementwise.  Requires an
+      allreduce-eligible schema on every rank; otherwise falls back to
+      ``"gather"`` (collectively — all ranks vote, so none diverges).
 
     Returns the global combination map (on every rank).
     """
+    if algorithm not in ("gather", "tree", "allreduce"):
+        raise ValueError(f"unknown combination algorithm {algorithm!r}")
+    if wire_format not in WIRE_FORMATS:
+        raise ValueError(
+            f"wire_format must be one of {WIRE_FORMATS}, got {wire_format!r}"
+        )
     if comm.size == 1:
         return local_map
+    if algorithm == "allreduce" or (
+        algorithm == "gather" and wire_format == "columnar"
+    ):
+        merged = _combine_allreduce(comm, local_map)
+        if merged is not None:
+            return merged
+        if algorithm == "allreduce":
+            algorithm = "gather"
     if algorithm == "gather":
-        return _combine_gather(comm, local_map, merge)
-    if algorithm == "tree":
-        return _combine_tree(comm, local_map, merge)
-    raise ValueError(f"unknown combination algorithm {algorithm!r}")
+        return _combine_gather(comm, local_map, merge, wire_format)
+    return _combine_tree(comm, local_map, merge, wire_format)
+
+
+def _combine_allreduce(comm: "Communicator", local_map: KeyedMap) -> KeyedMap | None:
+    """Contiguous-allreduce global combination; ``None`` when ineligible.
+
+    Eligibility is decided collectively: every rank contributes a vote
+    (its schema, or "empty"), so either all ranks take this path or none
+    does — a rank with an empty map still participates by contributing
+    identity-padded records.
+    """
+    packed = pack_map(local_map)
+    if packed is not None and packed.allreduce_eligible:
+        vote = ("schema", packed.cls, packed.records.dtype, packed.merges, packed.keys)
+    elif len(local_map) == 0:
+        vote = ("empty",)
+    else:
+        vote = ("ineligible",)
+    votes = comm.allgather(vote)
+    schema_votes = [v for v in votes if v[0] == "schema"]
+    if any(v[0] == "ineligible" for v in votes) or not schema_votes:
+        return None
+    ref = schema_votes[0]
+    if any(
+        v[1] is not ref[1] or v[2] != ref[2] or v[3] != ref[3]
+        for v in schema_votes[1:]
+    ):
+        return None
+    _cls, _dtype, _merges = ref[1], ref[2], ref[3]
+    union = schema_votes[0][4]
+    for v in schema_votes[1:]:
+        union = np.union1d(union, v[4])
+    if packed is not None:
+        contribution = packed.expand_to(union)
+    else:
+        contribution = _identity_records(_dtype, _merges, len(union))
+    _record_wire_allreduce(comm, contribution)
+    op = structured_reduce_op(_dtype.names, _merges)
+    reduced = comm.allreduce(contribution, op=op)
+    return PackedMap(_cls, union, reduced, _merges).to_map()
+
+
+def _record_wire_allreduce(comm: "Communicator", records: np.ndarray) -> None:
+    profiler = getattr(comm, "profiler", None)
+    if profiler is not None:
+        profiler.record_wire("allreduce", int(records.nbytes))
 
 
 def _combine_gather(
-    comm: "Communicator", local_map: KeyedMap, merge: MergeFn
+    comm: "Communicator", local_map: KeyedMap, merge: MergeFn, wire_format: str
 ) -> KeyedMap:
-    payload = serialize_map(local_map)
+    payload = serialize_map(local_map, wire_format)
+    _record_wire(comm, payload)
     gathered = comm.gather(payload, root=0)
     if comm.is_master:
         assert gathered is not None
-        merged = deserialize_map(gathered[0])
-        for rank_payload in gathered[1:]:
-            merged.merge_map(deserialize_map(rank_payload), merge)
-        out_payload = serialize_map(merged)
+        decoded = [_decode(p) for p in gathered]
+        head = decoded[0]
+        if isinstance(head, PackedMap) and all(
+            isinstance(d, PackedMap) and head.mergeable_with(d) for d in decoded[1:]
+        ):
+            # Columnar fast path: merge arrays rank by rank, materialize
+            # objects exactly once at the end.
+            for d in decoded[1:]:
+                head.merge_from(d)
+            merged = head.to_map()
+            out_payload = head.to_bytes()
+        else:
+            maps = [d.to_map() if isinstance(d, PackedMap) else d for d in decoded]
+            merged = maps[0]
+            for rank_map in maps[1:]:
+                merged.merge_map(rank_map, merge)
+            out_payload = serialize_map(merged, wire_format)
+        _record_wire(comm, out_payload)
     else:
         merged = None
         out_payload = None
@@ -89,7 +434,7 @@ _TREE_TAG = 271
 
 
 def _combine_tree(
-    comm: "Communicator", local_map: KeyedMap, merge: MergeFn
+    comm: "Communicator", local_map: KeyedMap, merge: MergeFn, wire_format: str
 ) -> KeyedMap:
     """Binomial-tree reduction: at round ``r`` ranks whose low ``r+1`` bits
     are zero receive from the partner ``rank + 2**r`` (when it exists) and
@@ -104,11 +449,22 @@ def _combine_tree(
             partner = rank + stride
             if partner < size:
                 payload = comm.recv(source=partner, tag=_TREE_TAG)
-                acc.merge_map(deserialize_map(payload), merge)
+                received = _decode(payload)
+                if isinstance(received, PackedMap):
+                    acc.merge_packed(received, merge)
+                else:
+                    acc.merge_map(received, merge)
         elif rank % stride == 0:
-            comm.send(serialize_map(acc), dest=rank - stride, tag=_TREE_TAG)
+            payload = serialize_map(acc, wire_format)
+            _record_wire(comm, payload)
+            comm.send(payload, dest=rank - stride, tag=_TREE_TAG)
         stride *= 2
-    out_payload = comm.bcast(serialize_map(acc) if rank == 0 else None, root=0)
+    if rank == 0:
+        out_payload = serialize_map(acc, wire_format)
+        _record_wire(comm, out_payload)
+    else:
+        out_payload = None
+    out_payload = comm.bcast(out_payload, root=0)
     if rank != 0:
         acc = deserialize_map(out_payload)
     return acc

@@ -22,7 +22,7 @@ import numpy as np
 from ..analytics import KMeans, LogisticRegression
 from ..baselines.lowlevel import lowlevel_kmeans, lowlevel_logreg
 from ..core import SchedArgs
-from ..core.serialization import serialize_map
+from ..core.serialization import WIRE_FORMATS, pack_map, serialize_map
 from ..perfmodel import MULTICORE_CLUSTER, collective_seconds
 from .programmability import default_rows
 from .reporting import format_seconds, print_table
@@ -37,11 +37,31 @@ def _measure(fn, repeats: int = 2) -> float:
     return best
 
 
+def _payloads(com_map) -> dict:
+    """Wire bytes for a combination map under each format.
+
+    The Section 5.3 gap is exactly this number: the low-level baseline
+    allreduces one contiguous buffer, Smart ships its reduction map.  The
+    columnar format packs the map into a keys array plus one structured
+    records array, so its payload approaches the baseline's; pickle pays
+    per-object overhead on top.
+    """
+    packed = pack_map(com_map)
+    return {
+        "pickle": float(len(serialize_map(com_map, "pickle"))),
+        "columnar": float(len(serialize_map(com_map, "columnar"))),
+        "allreduce_eligible": bool(packed is not None and packed.allreduce_eligible),
+    }
+
+
 def run(
     elements: int = 2_000_000,
     nodes: tuple[int, ...] = (8, 16, 32, 64),
     steps_equivalent: int = 100,
+    wire_format: str = "pickle",
 ) -> dict:
+    if wire_format not in WIRE_FORMATS:
+        raise ValueError(f"wire_format must be one of {WIRE_FORMATS}")
     rng = np.random.default_rng(17)
     machine = MULTICORE_CLUSTER
     results: dict[str, dict] = {}
@@ -57,11 +77,15 @@ def run(
     )
     t_smart = _measure(lambda: (km.reset(), km.run(flat)))
     t_low = _measure(lambda: lowlevel_kmeans(flat, init, iters))
-    smart_payload = float(len(serialize_map(km.get_combination_map())))
+    km_payloads = _payloads(km.get_combination_map())
     low_payload = float((k * dims + k) * 8)
     results["kmeans"] = dict(
         smart_compute=t_smart, low_compute=t_low,
-        smart_payload=smart_payload, low_payload=low_payload, passes=iters,
+        smart_payload=km_payloads[wire_format],
+        smart_payload_pickle=km_payloads["pickle"],
+        smart_payload_columnar=km_payloads["columnar"],
+        allreduce_eligible=km_payloads["allreduce_eligible"],
+        low_payload=low_payload, passes=iters,
     )
 
     # ---------------- logistic regression: 10 iters, 15 dims -------------
@@ -74,10 +98,33 @@ def run(
     )
     t_smart = _measure(lambda: (lr.reset(), lr.run(flat)))
     t_low = _measure(lambda: lowlevel_logreg(flat, dims, iters))
+    lr_payloads = _payloads(lr.get_combination_map())
     results["logistic_regression"] = dict(
         smart_compute=t_smart, low_compute=t_low,
-        smart_payload=float(len(serialize_map(lr.get_combination_map()))),
+        smart_payload=lr_payloads[wire_format],
+        smart_payload_pickle=lr_payloads["pickle"],
+        smart_payload_columnar=lr_payloads["columnar"],
+        allreduce_eligible=lr_payloads["allreduce_eligible"],
         low_payload=float((dims + 1) * 8), passes=iters,
+    )
+
+    # ---------------- wire-format payload comparison ----------------------
+    payload_rows = []
+    for app, r in results.items():
+        payload_rows.append(
+            [
+                app,
+                f"{r['smart_payload_pickle']:.0f} B",
+                f"{r['smart_payload_columnar']:.0f} B",
+                f"{r['low_payload']:.0f} B",
+                "yes" if r["allreduce_eligible"] else "no",
+            ]
+        )
+    print_table(
+        "Section 5.3: global-combination payload per pass "
+        f"(sync model uses wire_format={wire_format!r})",
+        ["app", "pickle", "columnar", "low-level allreduce", "allreduce-eligible"],
+        payload_rows,
     )
 
     # ---------------- per-node-count overhead table ----------------------
@@ -137,4 +184,5 @@ def run(
         prog_rows,
     )
     results["overheads"] = overheads
+    results["wire_format"] = wire_format
     return results

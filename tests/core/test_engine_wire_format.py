@@ -1,0 +1,163 @@
+"""Engines x columnar wire format: packed buffers across worker boundaries.
+
+The process engine ships reduction maps to and from its workers with
+the scheduler's configured wire format; with ``wire_format="columnar"``
+those maps cross the boundary as contiguous packed buffers (large
+returns through shared memory).  Every backend must still match the
+serial/pickle ground truth bit for bit — including early emission and
+seeded iterative runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    Histogram,
+    KMeans,
+    LogisticRegression,
+    MovingAverage,
+    MovingMedian,
+    make_blobs,
+    make_logreg_samples,
+)
+from repro.core import SchedArgs
+
+ENGINES = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def scalars():
+    return np.random.default_rng(11).normal(size=4096)
+
+
+def _counts(app):
+    return {k: v.count for k, v in app.get_combination_map().sorted_items()}
+
+
+class TestColumnarEquivalenceMatrix:
+    """Ground truth is the serial engine on the pickle wire format."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_histogram(self, scalars, engine):
+        def run(name, wire_format):
+            app = Histogram(
+                SchedArgs(
+                    num_threads=3, engine=name,
+                    vectorized=True, wire_format=wire_format,
+                ),
+                lo=-4, hi=4, num_buckets=32,
+            )
+            app.run(scalars)
+            counts = _counts(app)
+            app.close()
+            return counts
+
+        assert run(engine, "columnar") == run("serial", "pickle")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_kmeans_seeded_iterative(self, engine):
+        flat, _ = make_blobs(800, 4, 6, seed=3)
+        init = flat.reshape(-1, 4)[:6].copy()
+
+        def run(name, wire_format):
+            app = KMeans(
+                SchedArgs(
+                    chunk_size=4, num_iters=5, extra_data=init, num_threads=2,
+                    engine=name, vectorized=True, wire_format=wire_format,
+                ),
+                dims=4,
+            )
+            app.run(flat)
+            centroids = app.centroids()
+            app.close()
+            return centroids
+
+        assert np.array_equal(run(engine, "columnar"), run("serial", "pickle"))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_logistic_regression_iterative(self, engine):
+        flat, _ = make_logreg_samples(300, 7, seed=5)
+
+        def run(name, wire_format):
+            app = LogisticRegression(
+                SchedArgs(chunk_size=8, num_iters=3, num_threads=2,
+                          engine=name, vectorized=True, wire_format=wire_format),
+                dims=7,
+            )
+            app.run(flat)
+            weights = app.weights.copy()
+            app.close()
+            return weights
+
+        assert np.array_equal(run(engine, "columnar"), run("serial", "pickle"))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("app_cls", [MovingAverage, MovingMedian])
+    def test_window_run2_early_emission(self, scalars, engine, app_cls):
+        """MovingAverage packs columnar; MovingMedian's HoldAllObj is
+        schemaless and must ride the pickle fallback transparently."""
+        data = scalars[:600]
+
+        def run(name, wire_format):
+            app = app_cls(
+                SchedArgs(num_threads=3, engine=name, wire_format=wire_format),
+                win_size=7,
+            )
+            out = np.full(len(data), np.nan)
+            app.run2(data, out)
+            emissions = app.stats.early_emissions
+            app.close()
+            return out, emissions
+
+        ref_out, ref_emissions = run("serial", "pickle")
+        out, emissions = run(engine, "columnar")
+        assert np.array_equal(out, ref_out, equal_nan=True)
+        assert emissions == ref_emissions
+
+
+class TestProcessEngineWireAccounting:
+    def test_columnar_maps_cross_worker_boundary(self, scalars):
+        app = Histogram(
+            SchedArgs(num_threads=2, engine="process",
+                      vectorized=True, wire_format="columnar"),
+            lo=-4, hi=4, num_buckets=64,
+        )
+        app.run(scalars)
+        ops = app.telemetry_snapshot()["ops"]
+        assert ops["engine.wire.columnar"]["bytes"] > 0
+        # Maps travel both directions (parent -> worker, worker -> parent).
+        assert ops["engine.wire.columnar"]["calls"] >= 2
+        app.close()
+
+    def test_large_columnar_return_exercises_shm_path(self):
+        """num_buckets is chosen so a worker's return map packs past the
+        shared-memory threshold (64 KiB); results must be unaffected."""
+        data = np.random.default_rng(8).uniform(-4, 4, size=200_000)
+        buckets = 6000  # 6000 records x 16 B (key + count) > 64 KiB
+
+        def run(engine, wire_format):
+            app = Histogram(
+                SchedArgs(num_threads=2, engine=engine,
+                          vectorized=True, wire_format=wire_format),
+                lo=-4, hi=4, num_buckets=buckets,
+            )
+            app.run(data)
+            counts = _counts(app)
+            app.close()
+            return counts
+
+        assert run("process", "columnar") == run("serial", "pickle")
+
+    def test_combined_with_allreduce_algorithm(self, scalars):
+        """The full optimized stack: process engine, columnar boundary
+        payloads, and allreduce global combination on one rank."""
+        app = Histogram(
+            SchedArgs(num_threads=2, engine="process", vectorized=True,
+                      wire_format="columnar", combine_algorithm="allreduce"),
+            lo=-4, hi=4, num_buckets=32,
+        )
+        app.run(scalars)
+        ref = Histogram(SchedArgs(), lo=-4, hi=4, num_buckets=32)
+        ref.run(scalars)
+        assert _counts(app) == _counts(ref)
+        app.close()

@@ -1,0 +1,455 @@
+"""Columnar wire format: schemas, codec, vectorized merges, allreduce.
+
+Covers the Section 5.3 optimization end to end: every bundled reduction
+object round-trips through the packed encoding, schemaless maps fall
+back to pickle transparently, the vectorized combination kernel matches
+per-object Python merges bit for bit, and all three global-combination
+algorithms agree on full clusters and subcommunicators alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    ClusterObj,
+    CountObj,
+    GradientObj,
+    HoldAllObj,
+    MinMaxObj,
+    SumCountObj,
+    WeightedWindowObj,
+    WindowSumObj,
+)
+from repro.comm import TrafficProfiler, spmd_launch, split_comm
+from repro.core import (
+    Field,
+    KeyedMap,
+    PackedMap,
+    RedObj,
+    SchedArgs,
+    deserialize_map,
+    global_combine,
+    pack_map,
+    serialize_map,
+)
+from repro.core.serialization import wire_format_of
+
+
+def _state(obj):
+    """All slot values of a reduction object, numpy arrays as tuples."""
+    out = {}
+    for name in obj.__slots__:
+        value = getattr(obj, name)
+        out[name] = tuple(value) if isinstance(value, np.ndarray) else value
+    return out
+
+
+def _map_state(m: KeyedMap) -> dict:
+    return {k: _state(v) for k, v in m.sorted_items()}
+
+
+def _weighted(win_size, wsum, wtotal, count):
+    obj = WeightedWindowObj(win_size)
+    obj.wsum, obj.wtotal, obj.count = wsum, wtotal, count
+    return obj
+
+
+def _minmax(lo, hi):
+    obj = MinMaxObj()
+    obj.lo, obj.hi = lo, hi
+    return obj
+
+
+def _gradient(weights, grad, count, loss):
+    obj = GradientObj(np.asarray(weights, dtype=np.float64))
+    obj.grad[:] = grad
+    obj.count, obj.loss = count, loss
+    return obj
+
+
+def _cluster(centroid, vec_sum, size):
+    obj = ClusterObj(np.asarray(centroid, dtype=np.float64))
+    obj.vec_sum[:] = vec_sum
+    obj.size = size
+    return obj
+
+
+SCHEMA_OBJECTS = {
+    "count": lambda: CountObj(5),
+    "sum_count": lambda: SumCountObj(2.5, 3),
+    "window_sum": lambda: WindowSumObj(4, total=1.5, count=2),
+    "weighted_window": lambda: _weighted(5, 0.25, 1.75, 3),
+    "min_max": lambda: _minmax(-1.5, 7.25),
+    "gradient": lambda: _gradient([1.0, -2.0, 0.5], [0.1, 0.2, 0.3], 7, 0.9),
+    "cluster": lambda: _cluster([3.0, 4.0], [1.0, 2.0], 6),
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", SCHEMA_OBJECTS.values(), ids=SCHEMA_OBJECTS)
+    def test_every_bundled_schema_round_trips(self, make):
+        original = KeyedMap({3: make(), 11: make(), 7: make()})
+        payload = serialize_map(original, "columnar")
+        assert wire_format_of(payload) == "columnar"
+        assert _map_state(deserialize_map(payload)) == _map_state(original)
+
+    def test_scalar_types_rehydrate_as_python_numbers(self):
+        m = deserialize_map(
+            serialize_map(KeyedMap({0: SumCountObj(1.5, 2)}), "columnar")
+        )
+        assert type(m[0].total) is float
+        assert type(m[0].count) is int
+
+    def test_vector_fields_rehydrate_as_arrays(self):
+        m = deserialize_map(
+            serialize_map(KeyedMap({0: _cluster([1.0, 2.0], [3.0, 4.0], 5)}), "columnar")
+        )
+        assert isinstance(m[0].centroid, np.ndarray)
+        m[0].vec_sum += 1.0  # must be writable (no frombuffer views)
+
+    def test_schemaless_map_falls_back_to_pickle(self):
+        holder = HoldAllObj(4)
+        holder.add(0, 1.25)
+        payload = serialize_map(KeyedMap({0: holder}), "columnar")
+        assert wire_format_of(payload) == "pickle"
+        assert deserialize_map(payload)[0].values == [1.25]
+
+    def test_mixed_class_map_falls_back_to_pickle(self):
+        mixed = KeyedMap({0: CountObj(1), 1: SumCountObj(1.0, 1)})
+        assert wire_format_of(serialize_map(mixed, "columnar")) == "pickle"
+
+    def test_empty_map_falls_back_to_pickle(self):
+        payload = serialize_map(KeyedMap(), "columnar")
+        assert wire_format_of(payload) == "pickle"
+        assert len(deserialize_map(payload)) == 0
+
+    def test_pickle_payloads_still_deserialize(self):
+        """Backward compatibility: payloads from the pre-columnar format
+        (checkpoints) decode through the same entry point."""
+        original = KeyedMap({1: SumCountObj(3.0, 4)})
+        assert _map_state(deserialize_map(serialize_map(original))) == _map_state(
+            original
+        )
+
+    def test_unknown_wire_format_rejected(self):
+        with pytest.raises(ValueError, match="wire_format"):
+            serialize_map(KeyedMap(), "protobuf")
+
+    def test_columnar_smaller_than_pickle_at_scale(self):
+        m = KeyedMap({k: SumCountObj(float(k), k) for k in range(10_000)})
+        assert len(serialize_map(m, "columnar")) < len(serialize_map(m, "pickle"))
+
+
+class TrustedOnly(RedObj):
+    """Tracks construction-path usage for the trusted bulk test."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = float(value)
+
+    def fields(self):
+        return (Field("value", np.float64, "sum"),)
+
+
+class TestTrustedBulkConstruction:
+    def test_from_trusted_items_adopts_without_validation(self):
+        obj = CountObj(3)
+        m = KeyedMap.from_trusted_items([(4, obj)])
+        assert m[4] is obj
+
+    def test_deserialize_skips_per_object_validation(self):
+        original = KeyedMap({k: TrustedOnly(k) for k in range(50)})
+        restored = deserialize_map(serialize_map(original, "columnar"))
+        assert _map_state(restored) == _map_state(original)
+
+
+class Doubler(RedObj):
+    """Overrides the packing protocol — the non-default per-record path."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=0.0):
+        self.value = float(value)
+
+    def fields(self):
+        return (Field("value", np.float64, "sum"),)
+
+    def pack_into(self, rec):
+        rec["value"] = self.value * 2.0
+
+    @classmethod
+    def unpack_from(cls, rec):
+        return cls(float(rec["value"]) / 2.0)
+
+
+class TestPackingProtocol:
+    def test_custom_pack_unpack_overrides_are_honored(self):
+        payload = serialize_map(KeyedMap({0: Doubler(3.0)}), "columnar")
+        packed = PackedMap.from_bytes(payload)
+        assert packed.records["value"][0] == 6.0  # custom pack ran
+        assert deserialize_map(payload)[0].value == 3.0  # custom unpack ran
+
+    def test_pack_map_sorts_keys(self):
+        packed = pack_map(KeyedMap({9: CountObj(1), 2: CountObj(2), 5: CountObj(3)}))
+        assert packed.keys.tolist() == [2, 5, 9]
+        assert packed.records["count"].tolist() == [2, 3, 1]
+
+    def test_eligibility_flags(self):
+        sum_count = pack_map(KeyedMap({0: SumCountObj(1.0, 1)}))
+        assert sum_count.vector_mergeable and sum_count.allreduce_eligible
+        cluster = pack_map(KeyedMap({0: _cluster([1.0], [0.0], 0)}))
+        assert cluster.vector_mergeable and not cluster.allreduce_eligible
+        assert pack_map(KeyedMap({0: HoldAllObj(3)})) is None
+        assert pack_map(KeyedMap()) is None
+
+
+def merge_sumcount(red, com):
+    com.total += red.total
+    com.count += red.count
+    return com
+
+
+def merge_minmax(red, com):
+    com.lo = min(com.lo, red.lo)
+    com.hi = max(com.hi, red.hi)
+    return com
+
+
+def merge_cluster(red, com):
+    com.vec_sum += red.vec_sum
+    com.size += red.size
+    return com
+
+
+class TestVectorizedMergeKernel:
+    """PackedMap.merge_from must match per-object Python merges exactly."""
+
+    def _rank_maps(self, seed=0):
+        rng = np.random.default_rng(seed)
+        a = KeyedMap(
+            {int(k): SumCountObj(float(rng.standard_normal()), int(k) % 5 + 1)
+             for k in rng.choice(200, size=60, replace=False)}
+        )
+        b = KeyedMap(
+            {int(k): SumCountObj(float(rng.standard_normal()), int(k) % 3 + 1)
+             for k in rng.choice(200, size=60, replace=False)}
+        )
+        return a, b
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_python_merge(self, seed):
+        a, b = self._rank_maps(seed)
+        expected = deserialize_map(serialize_map(a))  # deep copy via pickle
+        expected.merge_map(b, merge_sumcount)
+        packed = pack_map(a)
+        packed.merge_from(pack_map(b))
+        assert _map_state(packed.to_map()) == _map_state(expected)
+
+    def test_min_max_ufuncs(self):
+        a = KeyedMap({0: _minmax(-1.0, 2.0), 1: _minmax(0.0, 0.0)})
+        b = KeyedMap({0: _minmax(-3.0, 1.0), 2: _minmax(5.0, 6.0)})
+        expected = deserialize_map(serialize_map(a))
+        expected.merge_map(b, merge_minmax)
+        packed = pack_map(a)
+        packed.merge_from(pack_map(b))
+        assert _map_state(packed.to_map()) == _map_state(expected)
+
+    def test_keep_fields_prefer_combination_side(self):
+        com = KeyedMap({0: _cluster([1.0, 1.0], [2.0, 2.0], 2)})
+        red = KeyedMap({0: _cluster([9.0, 9.0], [3.0, 3.0], 3)})
+        packed = pack_map(com)
+        packed.merge_from(pack_map(red))
+        merged = packed.to_map()[0]
+        assert merged.centroid.tolist() == [1.0, 1.0]  # kept, not summed
+        assert merged.vec_sum.tolist() == [5.0, 5.0]
+        assert merged.size == 5
+
+    def test_merge_into_empty_and_from_empty(self):
+        full = pack_map(KeyedMap({1: CountObj(2)}))
+        empty = PackedMap(CountObj, full.keys[:0], full.records[:0], full.merges)
+        empty.merge_from(full)
+        assert _map_state(empty.to_map()) == _map_state(full.to_map())
+        full.merge_from(
+            PackedMap(CountObj, full.keys[:0], full.records[:0], full.merges)
+        )
+        assert full.keys.tolist() == [1]
+
+    def test_schema_mismatch_rejected(self):
+        a = pack_map(KeyedMap({0: CountObj(1)}))
+        b = pack_map(KeyedMap({0: SumCountObj(1.0, 1)}))
+        with pytest.raises(ValueError, match="schema"):
+            a.merge_from(b)
+
+    def test_identity_padding(self):
+        packed = pack_map(KeyedMap({2: _minmax(-1.0, 1.0)}))
+        union = np.array([1, 2, 3], dtype=np.int64)
+        expanded = packed.expand_to(union)
+        assert expanded["lo"][0] == np.inf and expanded["hi"][0] == -np.inf
+        assert expanded["lo"][1] == -1.0 and expanded["hi"][1] == 1.0
+
+
+class TestSchedArgsKnob:
+    def test_default_is_pickle(self):
+        assert SchedArgs().wire_format == "pickle"
+
+    def test_columnar_accepted(self):
+        assert SchedArgs(wire_format="columnar").wire_format == "columnar"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="wire_format"):
+            SchedArgs(wire_format="json")
+
+    def test_allreduce_algorithm_accepted(self):
+        assert SchedArgs(combine_algorithm="allreduce").combine_algorithm == "allreduce"
+
+
+ALGORITHMS = ("gather", "tree", "allreduce")
+FORMATS = ("pickle", "columnar")
+
+
+def _combine_body(comm, algorithm, wire_format):
+    local = KeyedMap(
+        {comm.rank: SumCountObj(comm.rank + 0.5, 1),
+         100: SumCountObj(1.0 / (comm.rank + 1), 2),
+         100 + comm.rank % 2: SumCountObj(2.0, 1)}
+    )
+    merged = global_combine(
+        comm, local, merge_sumcount, algorithm=algorithm, wire_format=wire_format
+    )
+    return _map_state(merged)
+
+
+class TestCombineOnCluster:
+    @pytest.mark.parametrize("ranks", [2, 3, 5])
+    def test_all_algorithms_and_formats_bit_identical(self, ranks):
+        reference = None
+        for algorithm in ALGORITHMS:
+            for wire_format in FORMATS:
+                results = spmd_launch(
+                    ranks, _combine_body,
+                    args_per_rank=[(algorithm, wire_format)] * ranks, timeout=30,
+                )
+                assert all(r == results[0] for r in results)
+                if reference is None:
+                    reference = results[0]
+                assert results[0] == reference, (algorithm, wire_format)
+
+    def test_allreduce_with_one_empty_rank(self):
+        def body(comm):
+            if comm.rank == 1:
+                local = KeyedMap()
+            else:
+                local = KeyedMap({0: SumCountObj(float(comm.rank), 1)})
+            merged = global_combine(
+                comm, local, merge_sumcount,
+                algorithm="allreduce", wire_format="columnar",
+            )
+            return _map_state(merged)
+
+        results = spmd_launch(3, body, timeout=30)
+        assert all(r == results[0] for r in results)
+        assert results[0][0] == {"total": 2.0, "count": 2}
+
+    def test_allreduce_falls_back_for_keep_schemas(self):
+        """ClusterObj is vector-mergeable but not allreduce-eligible; the
+        allreduce algorithm must collectively fall back to gather."""
+
+        def body(comm, algorithm):
+            local = KeyedMap({0: _cluster([1.0, 2.0], [float(comm.rank), 1.0], 1)})
+            merged = global_combine(
+                comm, local, merge_cluster,
+                algorithm=algorithm, wire_format="columnar",
+            )
+            return _map_state(merged)
+
+        via_allreduce = spmd_launch(
+            4, body, args_per_rank=[("allreduce",)] * 4, timeout=30
+        )
+        via_gather = spmd_launch(4, body, args_per_rank=[("gather",)] * 4, timeout=30)
+        assert via_allreduce == via_gather
+        assert all(r == via_allreduce[0] for r in via_allreduce)
+
+    def test_mixed_eligibility_votes_fall_back_collectively(self):
+        """One rank holding a schemaless map must veto the short-circuit
+        for everyone (no rank may diverge into a different collective)."""
+
+        def body(comm):
+            if comm.rank == 0:
+                holder = HoldAllObj(8)
+                holder.add(0, 1.0)
+                local = KeyedMap({1000: holder})
+            else:
+                local = KeyedMap({comm.rank: SumCountObj(1.0, 1)})
+
+            def merge(red, com):  # keys never collide across classes here
+                raise AssertionError("no overlapping keys in this test")
+
+            merged = global_combine(
+                comm, local, merge, algorithm="allreduce", wire_format="columnar"
+            )
+            return sorted(merged.keys())
+
+        results = spmd_launch(3, body, timeout=30)
+        assert all(r == [1, 2, 1000] for r in results)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_subcommunicator_combine(self, algorithm):
+        """Combination over GroupComm subcommunicators (split by parity)
+        must stay within each group and agree with a local reference."""
+
+        def body(comm):
+            group = split_comm(comm, color=comm.rank % 2, key=comm.rank)
+            local = KeyedMap({0: SumCountObj(comm.rank + 1.0, 1)})
+            merged = global_combine(
+                comm=group, local_map=local, merge=merge_sumcount,
+                algorithm=algorithm, wire_format="columnar",
+            )
+            return comm.rank % 2, _map_state(merged)
+
+        results = spmd_launch(6, body, timeout=30)
+        for color, state in results:
+            members = [r for r in range(6) if r % 2 == color]
+            assert state[0] == {
+                "total": float(sum(r + 1 for r in members)),
+                "count": len(members),
+            }
+
+    def test_columnar_reduces_wire_bytes(self):
+        """The acceptance tally: global combination moves fewer bytes
+        under the columnar format than under pickle."""
+        tallies = {}
+        for wire_format in FORMATS:
+            profiler = TrafficProfiler()
+
+            def body(comm, fmt=wire_format):
+                local = KeyedMap(
+                    {k: SumCountObj(float(k), 1) for k in range(300)}
+                )
+                global_combine(
+                    comm, local, merge_sumcount, algorithm="tree", wire_format=fmt
+                )
+
+            spmd_launch(2, body, profiler=profiler, timeout=30)
+            snapshot = profiler.snapshot()
+            tallies[wire_format] = sum(
+                total for op, (_c, total) in snapshot.items()
+                if op.startswith("wire.")
+            )
+        assert tallies["columnar"] < tallies["pickle"]
+
+    def test_allreduce_tallies_contiguous_buffer_bytes(self):
+        profiler = TrafficProfiler()
+
+        def body(comm):
+            local = KeyedMap({k: SumCountObj(1.0, 1) for k in range(64)})
+            global_combine(
+                comm, local, merge_sumcount,
+                algorithm="allreduce", wire_format="columnar",
+            )
+
+        spmd_launch(2, body, profiler=profiler, timeout=30)
+        snapshot = profiler.snapshot()
+        count, total = snapshot["wire.allreduce"]
+        assert count == 2  # one contribution buffer per rank
+        assert total == 2 * 64 * 16  # 64 records of (f64 total, i64 count)
