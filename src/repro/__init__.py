@@ -15,10 +15,22 @@ Python reproduction of Wang, Agrawal, Bicer & Jiang (SC 2015 / OSU TR
   (``python -m repro.harness fig7``).
 * :mod:`repro.telemetry` — the unified runtime-statistics recorder
   behind ``RunStats``, ``TrafficProfiler``, and the execution engines.
+* :mod:`repro.faults` — deterministic seeded fault injection
+  (:class:`~repro.faults.FaultPlan`) and recovery policies
+  (:class:`~repro.faults.FaultPolicy`) for chaos testing the runtime.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from . import analytics, baselines, comm, core, sim, telemetry  # noqa: F401
+from . import analytics, baselines, comm, core, faults, sim, telemetry  # noqa: F401
 
-__all__ = ["analytics", "baselines", "comm", "core", "sim", "telemetry", "__version__"]
+__all__ = [
+    "analytics",
+    "baselines",
+    "comm",
+    "core",
+    "faults",
+    "sim",
+    "telemetry",
+    "__version__",
+]

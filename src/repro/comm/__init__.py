@@ -6,13 +6,22 @@ Public surface:
 * :class:`LocalComm` — single-rank communicator.
 * :class:`SimCluster` / :class:`SimComm` — N SPMD ranks as threads.
 * :func:`spmd_launch` — ``mpiexec``-style launcher.
+* :func:`supervised_launch` — the launcher under a recovery policy
+  (retry with backoff / degrade by dropping failed ranks).
 * :class:`TrafficProfiler` — byte/message accounting for the perf model.
 * Reduce operators: ``SUM``, ``MAX``, ``MIN``, ``PROD``, ``CONCAT``, ...
 """
 
-from .errors import CommAborted, CommError, InvalidRankError, RankMismatchError, SpmdError
+from .errors import (
+    CommAborted,
+    CommError,
+    CommTimeoutError,
+    InvalidRankError,
+    RankMismatchError,
+    SpmdError,
+)
 from .interface import Communicator, Request
-from .launcher import spmd_launch
+from .launcher import spmd_launch, supervised_launch
 from .local import LocalComm
 from .profiler import OpStats, TrafficProfiler, payload_nbytes
 from .reduce_ops import CONCAT, LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp, as_reduce_op
@@ -22,6 +31,7 @@ from .subgroup import UNDEFINED, GroupComm, split_comm
 __all__ = [
     "CommAborted",
     "CommError",
+    "CommTimeoutError",
     "Communicator",
     "Request",
     "InvalidRankError",
@@ -38,6 +48,7 @@ __all__ = [
     "payload_nbytes",
     "split_comm",
     "spmd_launch",
+    "supervised_launch",
     "UNDEFINED",
     "SUM",
     "PROD",

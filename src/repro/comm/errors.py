@@ -20,6 +20,17 @@ class CommAborted(CommError):
     """
 
 
+class CommTimeoutError(CommError):
+    """A per-call communication deadline expired.
+
+    Raised on the rank whose ``recv`` or collective exceeded the
+    cluster's per-call ``deadline`` (distinct from :class:`CommAborted`,
+    which peers observe once the job is torn down).  Gives supervised
+    recovery a precise signal — "this call stalled" — instead of only
+    the coarse whole-job barrier timeout.
+    """
+
+
 class RankMismatchError(CommError):
     """A collective was invoked with inconsistent arguments across ranks."""
 
@@ -31,16 +42,34 @@ class InvalidRankError(CommError, ValueError):
 class SpmdError(CommError):
     """One or more ranks of an SPMD launch raised an exception.
 
+    The first failing rank's exception is chained as ``__cause__``, so
+    tracebacks show the root failure rather than just this aggregate;
+    exceptions carrying a ``fault_context`` attribute (injected faults)
+    have that context appended to their entry in the message.
+
     Attributes
     ----------
     failures:
         Mapping from rank to the exception that rank raised.
+    first_rank:
+        Lowest rank that failed.
+    first_failure:
+        That rank's exception (also ``self.__cause__``).
     """
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = dict(failures)
-        detail = "; ".join(
-            f"rank {rank}: {type(exc).__name__}: {exc}"
-            for rank, exc in sorted(self.failures.items())
+        self.first_rank = min(self.failures)
+        self.first_failure = self.failures[self.first_rank]
+        parts = []
+        for rank, exc in sorted(self.failures.items()):
+            entry = f"rank {rank}: {type(exc).__name__}: {exc}"
+            fault_context = getattr(exc, "fault_context", None)
+            if fault_context:
+                entry += f" [{fault_context}]"
+            parts.append(entry)
+        super().__init__(
+            f"SPMD launch failed on {len(self.failures)} rank(s) "
+            f"(first failure: rank {self.first_rank}): " + "; ".join(parts)
         )
-        super().__init__(f"SPMD launch failed on {len(self.failures)} rank(s): {detail}")
+        self.__cause__ = self.first_failure

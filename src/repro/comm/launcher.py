@@ -11,13 +11,18 @@ aborts the whole job (peers blocked in communication raise
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Sequence
+import time
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from .errors import CommAborted, SpmdError
 from .interface import Communicator
 from .local import LocalComm
 from .profiler import TrafficProfiler
 from .sim import DEFAULT_TIMEOUT, SimCluster
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultPlan, FaultPolicy
+    from ..telemetry import Recorder
 
 RankFn = Callable[..., Any]
 
@@ -28,6 +33,8 @@ def spmd_launch(
     args_per_rank: Sequence[tuple] | None = None,
     profiler: TrafficProfiler | None = None,
     timeout: float = DEFAULT_TIMEOUT,
+    deadline: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``n_ranks`` SPMD ranks; return rank results.
 
@@ -47,6 +54,13 @@ def spmd_launch(
         Optional shared traffic profiler.
     timeout:
         Collective timeout in seconds (deadlock detection).
+    deadline:
+        Optional per-call deadline (see :class:`~repro.comm.sim.SimCluster`):
+        a blocked ``recv`` or collective raises
+        :class:`~repro.comm.errors.CommTimeoutError` past it.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` installed on the
+        cluster's communication hooks (no-op when ``None``).
 
     Raises
     ------
@@ -66,7 +80,13 @@ def spmd_launch(
         args = args_per_rank[0] if args_per_rank else ()
         return [fn(comm, *args)]
 
-    cluster = SimCluster(n_ranks, profiler=profiler, timeout=timeout)
+    cluster = SimCluster(
+        n_ranks,
+        profiler=profiler,
+        timeout=timeout,
+        deadline=deadline,
+        fault_plan=fault_plan,
+    )
     results: list[Any] = [None] * n_ranks
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
@@ -98,3 +118,93 @@ def spmd_launch(
         }
         raise SpmdError(primary or failures)
     return results
+
+
+def supervised_launch(
+    n_ranks: int,
+    fn: RankFn,
+    args_per_rank: Sequence[tuple] | None = None,
+    *,
+    policy: "FaultPolicy | str | None" = None,
+    telemetry: "Recorder | None" = None,
+    profiler: TrafficProfiler | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    deadline: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
+) -> list[Any]:
+    """:func:`spmd_launch` under a recovery policy (worker supervision).
+
+    ``fn`` must be re-invocable from scratch (build all per-rank state
+    inside it) — SPMD recovery is whole-job: a failed launch is either
+    relaunched identically (``retry``, with exponential backoff; because
+    reduction is deterministic and one-shot fault specs do not re-fire,
+    the retried run reproduces the fault-free results bit-exactly) or
+    relaunched with the failed ranks' partitions dropped (``degrade``,
+    recording ``faults.ranks_dropped``).  ``fail_fast`` (the default) is
+    plain :func:`spmd_launch`.
+
+    Every detection/recovery is surfaced on ``telemetry`` (when given):
+    ``faults.launch_failures``, ``faults.retries``,
+    ``faults.ranks_dropped`` counters and the ``faults.recovery_seconds``
+    timer (failure detection to successful relaunch).
+
+    Returns the per-rank results of the first successful launch (under
+    ``degrade``, results of the surviving ranks in their original rank
+    order).
+    """
+    from ..faults import FaultPolicy
+
+    policy = FaultPolicy.parse(policy) if policy is not None else FaultPolicy.fail_fast()
+
+    def launch(ranks: int, rank_args: Sequence[tuple] | None) -> list[Any]:
+        return spmd_launch(
+            ranks,
+            fn,
+            rank_args,
+            profiler=profiler,
+            timeout=timeout,
+            deadline=deadline,
+            fault_plan=fault_plan,
+        )
+
+    if policy.mode == "fail_fast":
+        return launch(n_ranks, args_per_rank)
+
+    attempt = 1
+    ranks = n_ranks
+    rank_args = list(args_per_rank) if args_per_rank is not None else None
+    recovering_since: float | None = None
+    while True:
+        try:
+            results = launch(ranks, rank_args)
+            if recovering_since is not None and telemetry is not None:
+                # Recovery latency: failure detection to healthy completion.
+                telemetry.add_time(
+                    "faults.recovery_seconds", time.perf_counter() - recovering_since
+                )
+            return results
+        except SpmdError as err:
+            if recovering_since is None:
+                recovering_since = time.perf_counter()
+            if telemetry is not None:
+                telemetry.inc("faults.launch_failures")
+            if policy.mode == "retry":
+                if attempt >= policy.max_attempts:
+                    raise
+                if telemetry is not None:
+                    telemetry.inc("faults.retries")
+                time.sleep(policy.backoff_for(attempt))
+                attempt += 1
+                continue
+            # degrade: drop the failed ranks' partitions and relaunch (a
+            # further failure degrades again; ranks strictly decrease, so
+            # this terminates).
+            failed = sorted(err.failures)
+            survivors = [r for r in range(ranks) if r not in failed]
+            if not survivors:
+                raise
+            if telemetry is not None:
+                telemetry.inc("faults.ranks_dropped", len(failed))
+            if rank_args is not None:
+                rank_args = [rank_args[r] for r in survivors]
+            ranks = len(survivors)

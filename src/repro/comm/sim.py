@@ -19,14 +19,18 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from collections import defaultdict, deque
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-from .errors import CommAborted, RankMismatchError
+from .errors import CommAborted, CommTimeoutError, RankMismatchError
 from .interface import Communicator
 from .profiler import TrafficProfiler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultPlan
 
 #: Default seconds to wait in a collective before declaring the job wedged.
 #: Generous enough for slow CI; small enough that a deadlocked test fails.
@@ -49,9 +53,10 @@ def _isolate(obj: Any) -> Any:
 class _Context:
     """Shared state for one communicator context (one 'MPI communicator')."""
 
-    def __init__(self, size: int, timeout: float):
+    def __init__(self, size: int, timeout: float, deadline: float | None = None):
         self.size = size
         self.timeout = timeout
+        self.deadline = deadline
         self.slots: list[Any] = [None] * size
         self.root_slot: Any = None
         self.tag_slot: Any = None  # collective-consistency checking
@@ -77,9 +82,18 @@ class _Context:
 
     def wait(self, barrier: threading.Barrier) -> None:
         self.check_abort()
+        effective = self.timeout if self.deadline is None else min(self.timeout, self.deadline)
         try:
-            barrier.wait(timeout=self.timeout)
+            barrier.wait(timeout=effective)
         except threading.BrokenBarrierError:
+            if not self.aborted and effective < self.timeout:
+                # The per-call deadline, not the job timeout, expired on
+                # this rank: surface the precise stall signal (the abort
+                # still tears the context down so peers unblock).
+                self.abort(f"collective exceeded the {effective}s call deadline")
+                raise CommTimeoutError(
+                    f"collective exceeded the {effective}s call deadline"
+                ) from None
             if not self.aborted:
                 self.abort(f"collective timed out after {self.timeout}s")
             raise CommAborted(self.abort_reason or "barrier broken") from None
@@ -99,6 +113,18 @@ class SimCluster:
     timeout:
         Seconds a rank may block in a collective before the whole job is
         aborted (deadlock detection for tests).
+    deadline:
+        Optional per-call deadline in seconds.  A ``recv`` or collective
+        blocked longer than this raises
+        :class:`~repro.comm.errors.CommTimeoutError` on the blocked rank
+        (and aborts the job so peers unblock) — a precise stall signal
+        for supervised recovery, instead of relying only on the coarse
+        job ``timeout``.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`.  When set, every
+        rank's communication calls consult it: messages may be delayed
+        or dropped and ranks crashed at seeded call indices.  ``None``
+        (the default) keeps every hook a no-op.
     """
 
     def __init__(
@@ -106,13 +132,19 @@ class SimCluster:
         size: int,
         profiler: TrafficProfiler | None = None,
         timeout: float = DEFAULT_TIMEOUT,
+        deadline: float | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         self.size = size
         self.profiler = profiler
         self.timeout = timeout
-        self._world = _Context(size, timeout)
+        self.deadline = deadline
+        self.fault_plan = fault_plan
+        self._world = _Context(size, timeout, deadline)
         self._contexts: list[_Context] = [self._world]
         self._ctx_lock = threading.Lock()
 
@@ -127,7 +159,7 @@ class SimCluster:
         return [self.comm(r) for r in range(self.size)]
 
     def new_context(self) -> _Context:
-        ctx = _Context(self.size, self.timeout)
+        ctx = _Context(self.size, self.timeout, self.deadline)
         with self._ctx_lock:
             self._contexts.append(ctx)
         return ctx
@@ -157,9 +189,34 @@ class SimComm(Communicator):
     def size(self) -> int:
         return self._ctx.size
 
+    def _fault(self, op: str) -> str | None:
+        """Consult the cluster's fault plan before a communication call.
+
+        Returns ``"drop"`` when the plan asks this call's message to be
+        silently discarded (``send`` honours it); delays sleep in place;
+        crashes raise :class:`~repro.faults.InjectedRankCrash` exactly
+        where a real process death would surface.
+        """
+        plan = self._cluster.fault_plan
+        if plan is None:
+            return None
+        spec = plan.comm_fault(self._rank, op)
+        if spec is None:
+            return None
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return None
+        if spec.kind == "drop":
+            return "drop"
+        from ..faults import InjectedRankCrash  # deferred: avoid import cycle
+
+        raise InjectedRankCrash(self._rank, plan.call_count("comm", self._rank) - 1, op)
+
     # -- point to point ---------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._check_rank(dest, "dest")
+        if self._fault("send") == "drop":
+            return  # the message vanishes in transit
         self._record("send", obj)
         ctx = self._ctx
         payload = _isolate(obj)
@@ -170,14 +227,33 @@ class SimComm(Communicator):
 
     def recv(self, source: int, tag: int = 0) -> Any:
         self._check_rank(source, "source")
+        self._fault("recv")
         ctx = self._ctx
         key = (self._rank, source, tag)
+        deadline = ctx.deadline
+        start = time.monotonic()
         with ctx.mail_cond:
             while not ctx.mail.get(key):
                 ctx.check_abort()
-                if not ctx.mail_cond.wait(timeout=ctx.timeout):
-                    ctx.abort(f"recv(source={source}, tag={tag}) timed out on rank {self._rank}")
-                    ctx.check_abort()
+                remaining = ctx.timeout - (time.monotonic() - start)
+                if deadline is not None:
+                    remaining = min(
+                        remaining, deadline - (time.monotonic() - start)
+                    )
+                if not ctx.mail_cond.wait(timeout=max(remaining, 0.001)):
+                    elapsed = time.monotonic() - start
+                    if deadline is not None and elapsed >= deadline:
+                        reason = (
+                            f"recv(source={source}, tag={tag}) exceeded the "
+                            f"{deadline}s call deadline on rank {self._rank}"
+                        )
+                        ctx.abort(reason)
+                        raise CommTimeoutError(reason)
+                    if elapsed >= ctx.timeout:
+                        ctx.abort(
+                            f"recv(source={source}, tag={tag}) timed out on rank {self._rank}"
+                        )
+                        ctx.check_abort()
             return ctx.mail[key].popleft()
 
     # -- collectives ------------------------------------------------------
@@ -195,6 +271,7 @@ class SimComm(Communicator):
             ctx.check_abort()
 
     def barrier(self) -> None:
+        self._fault("barrier")
         self._record("barrier", nbytes=0)
         ctx = self._ctx
         self._collective_check("barrier")
@@ -202,6 +279,7 @@ class SimComm(Communicator):
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._check_rank(root, "root")
+        self._fault("bcast")
         ctx = self._ctx
         if self._rank == root:
             self._record("bcast", obj)
@@ -217,6 +295,7 @@ class SimComm(Communicator):
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         self._check_rank(root, "root")
+        self._fault("gather")
         self._record("gather", obj)
         ctx = self._ctx
         ctx.slots[self._rank] = obj
@@ -229,6 +308,7 @@ class SimComm(Communicator):
         return result
 
     def allgather(self, obj: Any) -> list[Any]:
+        self._fault("allgather")
         self._record("allgather", obj)
         ctx = self._ctx
         ctx.slots[self._rank] = obj
@@ -242,6 +322,7 @@ class SimComm(Communicator):
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         self._check_rank(root, "root")
+        self._fault("scatter")
         ctx = self._ctx
         if self._rank == root:
             if objs is None:
@@ -266,6 +347,7 @@ class SimComm(Communicator):
         return value
 
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        self._fault("alltoall")
         ctx = self._ctx
         if len(objs) != self.size:
             ctx.abort(

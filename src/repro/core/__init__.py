@@ -31,6 +31,7 @@ from .sched_args import SchedArgs
 from .scheduler import RunStats, Scheduler, merge_distributed_output
 from .serialization import (
     WIRE_FORMATS,
+    WIRE_VERSION,
     PackedMap,
     deserialize_map,
     global_combine,
@@ -53,6 +54,7 @@ __all__ = [
     "KeyedMap",
     "PackedMap",
     "WIRE_FORMATS",
+    "WIRE_VERSION",
     "pack_map",
     "ProcessEngine",
     "SerialEngine",

@@ -25,19 +25,36 @@ Protocol per block:
    bulk path, converts emitted objects into the output array
    (emission-at-combination semantics are preserved bit for bit), and
    merges the counters into the unified recorder.
+
+Supervision: when a :class:`~repro.faults.FaultPlan` is installed on the
+scheduler or ``SchedArgs.fault_policy`` is not ``fail_fast``, dispatch
+switches from ``pool.map`` to a supervised ``apply_async`` loop.  The
+supervisor watches pool health (worker pids/exit codes) and per-worker
+heartbeat timestamps; a dead or hung worker triggers pool respawn, and
+the outcome follows the policy — ``retry`` raises
+:class:`~repro.faults.EngineFaultError` so the scheduler replays the
+iteration from the last consistent combination map, ``degrade`` folds
+the completed splits and records the dropped ones, ``fail_fast``
+raises.  With no plan and the default policy the fast ``pool.map`` path
+is byte-for-byte the unsupervised one, so healthy runs pay nothing.
 """
 
 from __future__ import annotations
 
 import copy
+import itertools
 import multiprocessing as mp
+import os
 import pickle
+import time
 from contextlib import contextmanager
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
+from ...faults import EngineFaultError, FaultPlan, FaultPolicy
 from ...telemetry import Recorder
 from ..chunk import Split
 from ..maps import KeyedMap
@@ -48,6 +65,18 @@ from .base import ExecutionEngine
 #: instead of the pool's result pipe (pipe transfers re-copy through the
 #: pickle layer; shm is one bulk copy each side).
 _SHM_RETURN_MIN = 1 << 16
+
+#: Prefix of worker-created return segments: ``smartret-<pid>-<seq>``.
+#: Naming them lets the parent reap orphans left by a killed worker
+#: (segments exported but never returned through the result pipe).
+_RETURN_PREFIX = "smartret"
+
+#: Supervisor poll interval while tasks are outstanding.
+_POLL_SECONDS = 0.005
+
+#: After damage is detected, how long to keep draining without any new
+#: completion before in-flight tasks are declared lost.
+_GRACE_SECONDS = 0.2
 
 
 @contextmanager
@@ -77,6 +106,27 @@ def _untracked_shm():
 #: arrives (one run is in flight at a time per engine).
 _worker_segments: dict[str, shared_memory.SharedMemory] = {}
 
+#: Worker-side heartbeat array (shared with the parent) and this
+#: worker's slot in it, bound by the pool initializer.
+_worker_heartbeats = None
+_worker_slot = 0
+
+#: Worker-side sequence for unique return-segment names.
+_return_seq = itertools.count()
+
+
+def _worker_init(heartbeats) -> None:
+    """Pool initializer: bind the shared heartbeat array to this worker."""
+    global _worker_heartbeats, _worker_slot
+    _worker_heartbeats = heartbeats
+    identity = mp.current_process()._identity
+    _worker_slot = (identity[0] - 1) % len(heartbeats) if identity else 0
+
+
+def _beat() -> None:
+    if _worker_heartbeats is not None:
+        _worker_heartbeats[_worker_slot] = time.monotonic()
+
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
     segment = _worker_segments.get(name)
@@ -94,10 +144,10 @@ def _export_payload(payload: bytes):
     """Worker side: hand a payload to the parent, via shm when large."""
     if len(payload) < _SHM_RETURN_MIN:
         return ("raw", payload)
+    name = f"{_RETURN_PREFIX}-{os.getpid()}-{next(_return_seq)}"
     with _untracked_shm():
-        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+        segment = shared_memory.SharedMemory(name=name, create=True, size=len(payload))
     segment.buf[: len(payload)] = payload
-    name = segment.name
     segment.close()  # the parent unlinks after draining
     return ("shm", name, len(payload))
 
@@ -117,9 +167,34 @@ def _import_payload(ref) -> bytes:
     return payload
 
 
+def _discard_payload(ref) -> None:
+    """Parent side: release a worker payload we will never fold (no leak)."""
+    if ref and ref[0] == "shm":
+        try:
+            _import_payload(ref)
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
 def _run_split_task(task: tuple) -> tuple:
     """Worker side: reduce one split against the shared partition."""
-    (sched_bytes, shm_name, dtype, n_elems, split, red_map_bytes, multi_key, wants_emitted) = task
+    (
+        sched_bytes,
+        shm_name,
+        dtype,
+        n_elems,
+        split,
+        red_map_bytes,
+        multi_key,
+        wants_emitted,
+        fault,
+    ) = task
+    _beat()
+    if fault is not None:
+        kind, seconds = fault
+        if kind == "kill":
+            os._exit(1)  # simulated worker crash: no cleanup, no result
+        time.sleep(seconds)  # "hang": stall well past the task deadline
     sched = pickle.loads(sched_bytes)
     sched.telemetry = Recorder()
     from ..scheduler import RunStats  # deferred: scheduler imports this module's package
@@ -138,6 +213,7 @@ def _run_split_task(task: tuple) -> tuple:
         else b""
     )
     map_payload = serialize_map(red_map, sched.args.wire_format)
+    _beat()
     return (
         _export_payload(map_payload),
         emitted_keys,
@@ -156,11 +232,21 @@ class ProcessEngine(ExecutionEngine):
         self._pool: mp.pool.Pool | None = None
         self._shm: shared_memory.SharedMemory | None = None
         self._payload: bytes | None = None
+        self._heartbeats = None
+        self._fault_plan: FaultPlan | None = None
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self._pool is None:
-            self._pool = mp.get_context().Pool(processes=self.num_workers)
+            if self._heartbeats is None:
+                self._heartbeats = mp.get_context().Array(
+                    "d", self.num_workers, lock=False
+                )
+            self._pool = mp.get_context().Pool(
+                processes=self.num_workers,
+                initializer=_worker_init,
+                initargs=(self._heartbeats,),
+            )
             self.telemetry.inc("engine.pools_created")
 
     def shutdown(self) -> None:
@@ -178,6 +264,7 @@ class ProcessEngine(ExecutionEngine):
 
     def begin_run(self, scheduler, data, out, multi_key) -> None:
         super().begin_run(scheduler, data, out, multi_key)
+        self._fault_plan = getattr(scheduler, "fault_plan", None)
         self._release_segment()
         nbytes = int(data.nbytes)
         self._shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
@@ -205,6 +292,136 @@ class ProcessEngine(ExecutionEngine):
                 pass
             self._shm = None
 
+    # -- supervision -------------------------------------------------------
+    def _pool_pids(self) -> list[int]:
+        assert self._pool is not None
+        return [p.pid for p in self._pool._pool]
+
+    def _pool_damaged(self, baseline_pids: list[int]) -> bool:
+        """Did any worker die since dispatch?  (mp.Pool repopulates dead
+        workers, so compare pids against the dispatch-time baseline as
+        well as scanning exit codes.)"""
+        assert self._pool is not None
+        procs = self._pool._pool
+        if any(p.exitcode is not None for p in procs):
+            return True
+        return [p.pid for p in procs] != baseline_pids
+
+    def _respawn_pool(self, dead_pids: list[int], keep_names: set[str]) -> None:
+        """Tear down the damaged pool, reap orphans, and start a fresh one."""
+        with self.telemetry.span("faults.recovery_seconds"):
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+            self._reap_orphan_segments(dead_pids, keep_names)
+            self.start()
+
+    @staticmethod
+    def _reap_orphan_segments(pids: Iterable[int], keep_names: set[str]) -> None:
+        """Unlink return segments a killed worker exported but never
+        handed back (their names never reached the parent), identified by
+        the worker-pid component of the segment name.  Segments whose
+        refs the parent *does* hold (``keep_names``) are left for the
+        normal drain path."""
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():  # pragma: no cover - non-Linux fallback
+            return
+        wanted = {f"{_RETURN_PREFIX}-{pid}-" for pid in pids}
+        for entry in shm_dir.iterdir():
+            name = entry.name
+            if name in keep_names or not name.startswith(_RETURN_PREFIX):
+                continue
+            if any(name.startswith(prefix) for prefix in wanted):
+                try:
+                    entry.unlink()
+                except OSError:  # pragma: no cover - raced with drain
+                    pass
+
+    def _supervised_map(
+        self, tasks: list[tuple], policy: FaultPolicy
+    ) -> list[tuple | None]:
+        """Dispatch tasks with worker supervision; ``None`` marks a
+        dropped task (degrade mode).
+
+        Detection: pool damage (a worker's exit code is set, or the pid
+        set changed — ``mp.Pool`` auto-repopulates, which would silently
+        lose the dead worker's task) or a task outliving
+        ``policy.task_deadline`` with a stale newest heartbeat.
+        """
+        assert self._pool is not None
+        results: list[tuple | None] = [None] * len(tasks)
+        done = [False] * len(tasks)
+        baseline_pids = self._pool_pids()
+        dispatched = time.monotonic()
+        async_results = [
+            self._pool.apply_async(_run_split_task, (task,)) for task in tasks
+        ]
+
+        def drain_ready() -> None:
+            for i, ar in enumerate(async_results):
+                if not done[i] and ar.ready():
+                    results[i] = ar.get()  # worker exceptions re-raise here
+                    done[i] = True
+
+        def undrained_shm_names() -> set[str]:
+            return {
+                r[0][1]
+                for r in results
+                if r is not None and r[0] and r[0][0] == "shm"
+            }
+
+        while True:
+            drain_ready()
+            if all(done):
+                return results
+            failure = None
+            if self._pool_damaged(baseline_pids):
+                failure = "faults.detected.worker_dead"
+            elif (
+                policy.task_deadline is not None
+                and time.monotonic() - dispatched > policy.task_deadline
+            ):
+                newest_beat = max(self._heartbeats) if self._heartbeats else 0.0
+                stale = time.monotonic() - newest_beat > policy.task_deadline
+                failure = "faults.detected.worker_hung" if stale else None
+                if failure is None:
+                    # Workers are alive and beating: genuinely slow, not
+                    # hung.  Extend the window rather than killing work.
+                    dispatched = time.monotonic()
+            if failure is None:
+                time.sleep(_POLL_SECONDS)
+                continue
+            # Grace drain: tasks in flight on *healthy* workers finish in
+            # the normal course — keep collecting until completions stop
+            # arriving, so only the dead worker's tasks count as lost.
+            idle_since = time.monotonic()
+            while not all(done) and time.monotonic() - idle_since < _GRACE_SECONDS:
+                before = sum(done)
+                drain_ready()
+                if sum(done) > before:
+                    idle_since = time.monotonic()
+                time.sleep(_POLL_SECONDS)
+            self.telemetry.inc(failure)
+            dead_pids = baseline_pids
+            self._respawn_pool(dead_pids, undrained_shm_names())
+            pending = [i for i in range(len(tasks)) if not done[i]]
+            if policy.mode == "degrade":
+                self.telemetry.inc("faults.dropped_splits", len(pending))
+                return results
+            # fail_fast / retry: release everything we collected (the
+            # iteration will be replayed or abandoned — never folded), so
+            # no worker return segment leaks.
+            for i, r in enumerate(results):
+                if r is not None:
+                    _discard_payload(r[0])
+                    results[i] = None
+            raise EngineFaultError(
+                f"{len(pending)} split task(s) lost to a "
+                f"{'dead' if failure.endswith('dead') else 'hung'} worker "
+                f"(pool respawned)"
+            )
+
     # -- execution ---------------------------------------------------------
     def _scheduler_payload(self) -> bytes:
         """Pickle the scheduler minus everything workers must not share.
@@ -213,9 +430,10 @@ class ProcessEngine(ExecutionEngine):
         combination map (``gen_key`` may consult it — k-means centroids),
         and the positional context; it drops the input array (workers
         view it through shared memory), the output array, the feed
-        buffer, the communicator, the engine, and the telemetry recorder
-        (all lock-bearing or parent-owned).  Rebuilt after every
-        combination phase, when the map's contents change.
+        buffer, the communicator, the engine, the telemetry recorder
+        (all lock-bearing or parent-owned), and the fault plan (parent-
+        side injection state).  Rebuilt after every combination phase,
+        when the map's contents change.
         """
         if self._payload is None:
             sched = self._sched
@@ -228,6 +446,7 @@ class ProcessEngine(ExecutionEngine):
             clone._engine = None
             clone.telemetry = None
             clone.stats = None
+            clone.fault_plan = None
             self._payload = pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL)
         return self._payload
 
@@ -242,12 +461,20 @@ class ProcessEngine(ExecutionEngine):
         sched = self._sched
         assert sched is not None
         wire_format = sched.args.wire_format
+        plan = self._fault_plan
+        policy = sched.args.resolved_fault_policy
         tasks = []
         for split in splits:
             map_payload = serialize_map(red_maps[split.thread_id], wire_format)
             self.telemetry.record_op(
                 f"engine.wire.{wire_format_of(map_payload)}", len(map_payload)
             )
+            fault = None
+            if plan is not None:
+                spec = plan.engine_fault()
+                if spec is not None:
+                    fault = (spec.kind, spec.seconds)
+                    self.telemetry.inc(f"faults.injected.engine.{spec.kind}")
             tasks.append(
                 (
                     payload,
@@ -258,14 +485,22 @@ class ProcessEngine(ExecutionEngine):
                     map_payload,
                     self._multi_key,
                     wants_emitted,
+                    fault,
                 )
             )
+        supervised = plan is not None or policy.mode != "fail_fast"
         with self.telemetry.span("engine.block_seconds"):
-            results = self._pool.map(_run_split_task, tasks)
+            if supervised:
+                results = self._supervised_map(tasks, policy)
+            else:
+                # Fast path: identical to the unsupervised engine — zero
+                # overhead when no plan is installed.
+                results = self._pool.map(_run_split_task, tasks)
         emitted: set[int] = set()
-        for split, (map_ref, emitted_keys, emitted_payload, counters) in zip(
-            splits, results
-        ):
+        for split, result in zip(splits, results):
+            if result is None:  # dropped under degrade
+                continue
+            map_ref, emitted_keys, emitted_payload, counters = result
             map_bytes = _import_payload(map_ref)
             self.telemetry.record_op(
                 f"engine.wire.{wire_format_of(map_bytes)}", len(map_bytes)

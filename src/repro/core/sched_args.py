@@ -12,6 +12,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Any
 
+from ..faults import FaultPolicy
+
 #: Engine backends accepted by :attr:`SchedArgs.engine`.
 ENGINE_NAMES = ("serial", "thread", "process")
 
@@ -78,6 +80,18 @@ class SchedArgs:
         contiguous keys-array plus one structured records-array and are
         merged with per-field ufuncs; schemaless maps still fall back
         to pickle).
+    fault_policy:
+        How the runtime reacts to a detected fault (a dead or hung
+        process-engine worker): ``"fail_fast"`` (the default — the
+        failure propagates as :class:`~repro.faults.EngineFaultError`),
+        ``"retry"`` (the supervisor respawns the pool and the scheduler
+        replays the current iteration from the last consistent
+        combination map, with exponential backoff — bit-exact results),
+        or ``"degrade"`` (the failed workers' split contributions are
+        dropped for that iteration and recorded in ``faults.*``
+        telemetry).  Accepts a mode name or a configured
+        :class:`~repro.faults.FaultPolicy` (e.g.
+        ``FaultPolicy.retry(max_attempts=5, task_deadline=2.0)``).
     """
 
     num_threads: int = 1
@@ -93,6 +107,7 @@ class SchedArgs:
     disable_early_emission: bool = False
     combine_algorithm: str = "gather"
     wire_format: str = "pickle"
+    fault_policy: str | FaultPolicy = "fail_fast"
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -115,6 +130,7 @@ class SchedArgs:
                 f"wire_format must be 'pickle' or 'columnar', "
                 f"got {self.wire_format!r}"
             )
+        FaultPolicy.parse(self.fault_policy)  # raises on unknown mode
         if self.engine is not None and self.engine not in ENGINE_NAMES:
             raise ValueError(
                 f"engine must be one of {ENGINE_NAMES} or None, got {self.engine!r}"
@@ -132,3 +148,8 @@ class SchedArgs:
         if self.engine is not None:
             return self.engine
         return "thread" if self.use_threads else "serial"
+
+    @property
+    def resolved_fault_policy(self) -> FaultPolicy:
+        """The effective :class:`~repro.faults.FaultPolicy` object."""
+        return FaultPolicy.parse(self.fault_policy)

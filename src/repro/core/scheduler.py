@@ -33,12 +33,14 @@ output array plus the key instead of ``out[key]``.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Sequence
 
 import numpy as np
 
 from ..comm.interface import Communicator
 from ..comm.local import LocalComm
+from ..faults import EngineFaultError, FaultPlan
 from ..telemetry import Recorder
 from .chunk import Chunk, Split, iter_blocks, make_splits
 from .circular_buffer import CircularBuffer
@@ -136,6 +138,10 @@ class Scheduler:
         self.combination_map_ = KeyedMap()
         self.telemetry = Recorder()
         self.stats = RunStats(self.telemetry)
+        #: Optional :class:`~repro.faults.FaultPlan` consulted by the
+        #: execution engine (worker kill/hang injection).  ``None`` — the
+        #: default — keeps every injection hook a no-op.
+        self.fault_plan: FaultPlan | None = None
         self._engine: ExecutionEngine | None = None
         self._global_combination = True
         self._fed: CircularBuffer | None = None
@@ -443,19 +449,39 @@ class Scheduler:
         # rebuilt by a later one, and only the *final* iteration decides
         # whether the convert sweep below must still write it.
         emitted: set[int] = set()
+        policy = args.resolved_fault_policy
         try:
             for iteration in range(args.num_iters):
                 self.telemetry.inc("run.iterations_run")
-                emitted = set()
-                red_maps = self._make_reduction_maps()
-                for bstart, bstop in iter_blocks(n, args.block_size):
-                    splits = make_splits(
-                        bstart, bstop, args.num_threads, args.chunk_size
-                    )
-                    emitted.update(engine.map_splits(splits, red_maps))
-                    self.stats.observe_objects(
-                        sum(len(m) for m in red_maps) + len(self.combination_map_)
-                    )
+                # Replay loop: a worker lost mid-iteration surfaces as
+                # EngineFaultError *after* the supervisor respawned the
+                # pool.  The combination map is only mutated below, once
+                # every block completes, so restarting the iteration from
+                # fresh reduction maps is consistent (and, reduction being
+                # deterministic, bit-exact with a fault-free run).
+                attempt = 1
+                while True:
+                    emitted = set()
+                    red_maps = self._make_reduction_maps()
+                    try:
+                        for bstart, bstop in iter_blocks(n, args.block_size):
+                            splits = make_splits(
+                                bstart, bstop, args.num_threads, args.chunk_size
+                            )
+                            emitted.update(engine.map_splits(splits, red_maps))
+                            self.stats.observe_objects(
+                                sum(len(m) for m in red_maps)
+                                + len(self.combination_map_)
+                            )
+                    except EngineFaultError:
+                        self.telemetry.inc("faults.engine_failures")
+                        if policy.mode != "retry" or attempt >= policy.max_attempts:
+                            raise
+                        self.telemetry.inc("faults.replays")
+                        time.sleep(policy.backoff_for(attempt))
+                        attempt += 1
+                        continue
+                    break
                 # Local combination: per-thread reduction maps fold into the
                 # local combination map (Algorithm 1 lines 11-17).
                 for red_map in red_maps:

@@ -46,6 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Wire formats accepted by :func:`serialize_map` / ``SchedArgs.wire_format``.
 WIRE_FORMATS = ("pickle", "columnar")
 
+#: Version of the map wire format (bumped whenever the byte layout of
+#: :func:`serialize_map` output changes incompatibly).  Stamped into
+#: checkpoint headers so a restore from a stale layout fails loudly
+#: instead of deserializing garbage.
+WIRE_VERSION = 1
+
 _COLUMNAR_MAGIC = b"SMCOL1\n"
 _COLUMNAR_HEADER = struct.Struct("<II")  # (schema-header length, record count)
 

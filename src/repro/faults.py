@@ -1,0 +1,334 @@
+"""Deterministic seeded fault injection and recovery policies.
+
+Smart's value proposition is co-locating analytics with a long-running
+simulation; a wedged collective, a dead worker, or a torn checkpoint
+costs hours of simulation time.  This module provides the chaos side of
+that bargain: a :class:`FaultPlan` is a *seeded, deterministic* schedule
+of faults that threads into three runtime layers via injection hooks —
+
+* **comm** — :class:`~repro.comm.sim.SimCluster` consults the plan on
+  every communication call: messages can be delayed or dropped, and a
+  rank can be crashed at a chosen call index (raising
+  :class:`InjectedRankCrash`, which propagates exactly like a real rank
+  death: peers observe :class:`~repro.comm.errors.CommAborted`).
+* **engine** — :class:`~repro.core.engine.process.ProcessEngine`
+  consults the plan per dispatched split task: the worker executing the
+  task can be killed (``os._exit``) or hung (a long sleep) to exercise
+  the pool supervisor.
+* **storage** — :func:`~repro.core.checkpoint.save_checkpoint` consults
+  the plan after each atomic write: the file can be truncated or have a
+  seeded bit flipped, exercising CRC verification and rotation fallback.
+
+With no plan installed every hook is a no-op on the fast path (a single
+``is None`` check), so healthy runs pay nothing.
+
+Recovery behaviour is selected independently of the plan by
+:class:`FaultPolicy` (``SchedArgs(fault_policy=...)`` /
+``supervised_launch(policy=...)``):
+
+* ``fail_fast`` — today's behaviour and the default: the first failure
+  aborts the job (``SpmdError`` / ``CommAborted`` /
+  :class:`EngineFaultError`).
+* ``retry`` — exponential backoff and replay: the process engine's
+  supervisor respawns the pool and the scheduler replays the current
+  iteration from the last consistent combination map (safe because the
+  combination map is only mutated *after* every block of an iteration
+  completes); ``supervised_launch`` relaunches the whole SPMD job.
+  Because reduction is deterministic, results are bit-exact with the
+  fault-free run.
+* ``degrade`` — drop the failed worker's/rank's contribution for that
+  iteration, record the drop in ``faults.*`` telemetry, and continue.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Layers a :class:`FaultSpec` may target.
+FAULT_LAYERS = ("comm", "engine", "storage")
+
+#: Fault kinds per layer.
+FAULT_KINDS = {
+    "comm": ("delay", "drop", "crash"),
+    "engine": ("kill", "hang"),
+    "storage": ("truncate", "bitflip"),
+}
+
+#: Policy modes accepted by :class:`FaultPolicy` / ``SchedArgs``.
+POLICY_MODES = ("fail_fast", "retry", "degrade")
+
+
+class FaultError(RuntimeError):
+    """Base class for fault-subsystem errors."""
+
+
+class EngineFaultError(FaultError):
+    """An execution-engine worker died or hung mid-run.
+
+    Raised by the process engine's supervisor after it has already
+    respawned the worker pool, so the scheduler may replay the current
+    iteration (``fault_policy=retry``) or propagate (``fail_fast``).
+    """
+
+
+class InjectedRankCrash(FaultError):
+    """A :class:`FaultPlan` crashed this rank (simulated process death)."""
+
+    def __init__(self, rank: int, call_index: int, op: str):
+        self.rank = rank
+        self.call_index = call_index
+        self.op = op
+        #: Surfaced by :class:`~repro.comm.errors.SpmdError` messages.
+        self.fault_context = f"injected crash: rank {rank}, comm call {call_index} ({op})"
+        super().__init__(self.fault_context)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    layer:
+        ``"comm"``, ``"engine"``, or ``"storage"``.
+    kind:
+        comm: ``"delay"`` / ``"drop"`` / ``"crash"``; engine: ``"kill"``
+        / ``"hang"``; storage: ``"truncate"`` / ``"bitflip"``.
+    at_call:
+        The first call index at which the fault may fire (it fires on
+        the first matching call with index >= ``at_call``, up to
+        ``times`` times).  Comm calls are counted per rank; engine task
+        dispatches and checkpoint saves are counted globally.
+        Deterministic given the program, so a seeded plan reproduces the
+        identical failure every run — and because indices keep counting
+        across retries, ``times > 1`` models a fault that strikes the
+        relaunched job again.
+    target:
+        Restrict the fault to one rank (comm layer).  ``None`` matches
+        any rank.
+    op:
+        Restrict a comm fault to one operation name (``"send"``,
+        ``"recv"``, ``"barrier"``, ...).  ``None`` matches any.
+    times:
+        How many times the spec may fire (across all matching sites).
+        The default 1 makes retry-based recovery converge: the replayed
+        iteration runs clean.
+    seconds:
+        Duration for ``delay`` and ``hang`` faults.
+    """
+
+    layer: str
+    kind: str
+    at_call: int = 0
+    target: int | None = None
+    op: str | None = None
+    times: int = 1
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.layer not in FAULT_LAYERS:
+            raise ValueError(f"layer must be one of {FAULT_LAYERS}, got {self.layer!r}")
+        if self.kind not in FAULT_KINDS[self.layer]:
+            raise ValueError(
+                f"kind for layer {self.layer!r} must be one of "
+                f"{FAULT_KINDS[self.layer]}, got {self.kind!r}"
+            )
+        if self.at_call < 0:
+            raise ValueError(f"at_call must be >= 0, got {self.at_call}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Record of one fired fault (the plan's audit log entry)."""
+
+    layer: str
+    kind: str
+    site: Any
+    call_index: int
+    op: str | None = None
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of faults.
+
+    Thread-safe: SPMD ranks are threads and consult the plan
+    concurrently.  Call-index counters are kept *per site* (per rank for
+    the comm layer), so a spec's ``at_call`` refers to a deterministic
+    point in that site's call sequence regardless of thread interleaving.
+
+    The ``seed`` drives every random draw the plan ever makes (currently
+    the bit position of storage ``bitflip`` faults), so a plan with the
+    same specs and seed injects byte-identical corruption every run.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = (), seed: int = 0):
+        self.specs = list(specs)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+        self._counters: dict[Any, int] = defaultdict(int)
+        self._fired: dict[int, int] = defaultdict(int)
+        #: Audit log of every injection, in firing order.
+        self.injections: list[Injection] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self.specs)} specs, seed={self.seed}, fired={len(self.injections)})"
+
+    def _fire(self, layer: str, site: Any, *, target: int | None, op: str | None) -> FaultSpec | None:
+        with self._lock:
+            index = self._counters[(layer, site)]
+            self._counters[(layer, site)] = index + 1
+            for i, spec in enumerate(self.specs):
+                if spec.layer != layer:
+                    continue
+                if spec.target is not None and spec.target != target:
+                    continue
+                if spec.op is not None and spec.op != op:
+                    continue
+                if index < spec.at_call:
+                    continue
+                if self._fired[i] >= spec.times:
+                    continue
+                self._fired[i] += 1
+                self.injections.append(Injection(layer, spec.kind, site, index, op))
+                return spec
+        return None
+
+    # -- layer hooks (each is a no-op returning None unless a spec matches)
+    def comm_fault(self, rank: int, op: str) -> FaultSpec | None:
+        """Consulted by :class:`~repro.comm.sim.SimComm` on every call."""
+        return self._fire("comm", rank, target=rank, op=op)
+
+    def engine_fault(self) -> FaultSpec | None:
+        """Consulted by the process engine per dispatched split task."""
+        return self._fire("engine", "tasks", target=None, op=None)
+
+    def storage_fault(self) -> FaultSpec | None:
+        """Consulted by ``save_checkpoint`` per save call."""
+        return self._fire("storage", "saves", target=None, op=None)
+
+    def call_count(self, layer: str, site: Any) -> int:
+        """How many calls the plan has observed at ``(layer, site)``."""
+        with self._lock:
+            return self._counters.get((layer, site), 0)
+
+    def injected(self, layer: str | None = None) -> int:
+        """Number of faults fired so far (optionally for one layer)."""
+        with self._lock:
+            if layer is None:
+                return len(self.injections)
+            return sum(1 for inj in self.injections if inj.layer == layer)
+
+    def corrupt(self, data: bytes, kind: str, *, protect: int = 0) -> bytes:
+        """Apply a storage corruption to ``data`` (seeded, deterministic).
+
+        ``protect`` marks a prefix (the checkpoint header) that bit-flips
+        avoid, so corruption lands in the CRC-protected payload.
+        """
+        if kind == "truncate":
+            return data[: max(protect, len(data) // 2)]
+        if kind == "bitflip":
+            if len(data) <= protect:
+                return data
+            pos = int(self.rng.integers(protect, len(data)))
+            bit = int(self.rng.integers(0, 8))
+            flipped = bytearray(data)
+            flipped[pos] ^= 1 << bit
+            return bytes(flipped)
+        raise ValueError(f"unknown storage corruption {kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the runtime reacts to a detected fault.
+
+    Construct via the classmethods (``FaultPolicy.retry(...)``) or pass
+    the mode name as a string wherever a policy is accepted
+    (``SchedArgs(fault_policy="retry")``).
+    """
+
+    mode: str = "fail_fast"
+    #: Total attempts for ``retry`` (the first run counts as attempt 1).
+    max_attempts: int = 3
+    #: Base backoff in seconds before the first retry.
+    backoff: float = 0.05
+    #: Multiplier applied per subsequent retry (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Seconds a dispatched engine task may run before the supervisor
+    #: declares the worker hung.  ``None`` disables hang detection.
+    task_deadline: float | None = None
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICY_MODES:
+            raise ValueError(f"mode must be one of {POLICY_MODES}, got {self.mode!r}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError(f"task_deadline must be positive, got {self.task_deadline}")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def fail_fast(cls) -> "FaultPolicy":
+        return cls(mode="fail_fast")
+
+    @classmethod
+    def retry(
+        cls,
+        max_attempts: int = 3,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        task_deadline: float | None = None,
+    ) -> "FaultPolicy":
+        return cls(
+            mode="retry",
+            max_attempts=max_attempts,
+            backoff=backoff,
+            backoff_factor=backoff_factor,
+            task_deadline=task_deadline,
+        )
+
+    @classmethod
+    def degrade(cls, task_deadline: float | None = None) -> "FaultPolicy":
+        return cls(mode="degrade", task_deadline=task_deadline)
+
+    @classmethod
+    def parse(cls, value: "FaultPolicy | str") -> "FaultPolicy":
+        """Coerce a policy or mode name into a :class:`FaultPolicy`."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            if value not in POLICY_MODES:
+                raise ValueError(
+                    f"fault_policy must be one of {POLICY_MODES} or a FaultPolicy, "
+                    f"got {value!r}"
+                )
+            return cls(mode=value)
+        raise TypeError(f"fault_policy must be a str or FaultPolicy, got {type(value).__name__}")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff seconds before retry number ``attempt`` (1-based)."""
+        return self.backoff * self.backoff_factor ** max(attempt - 1, 0)
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_LAYERS",
+    "POLICY_MODES",
+    "EngineFaultError",
+    "FaultError",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultSpec",
+    "Injection",
+    "InjectedRankCrash",
+]

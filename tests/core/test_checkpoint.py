@@ -1,5 +1,7 @@
 """Checkpoint/restore of analytics state."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.core import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.faults import FaultPlan, FaultSpec
 
 
 def make_histogram():
@@ -125,3 +128,102 @@ class TestValidation:
         app.run(rng.normal(size=50))
         path = save_checkpoint(app, tmp_path / "deep" / "nested" / "h.ckpt")
         assert path.exists()
+
+    def test_wire_version_mismatch_rejected(self, rng, tmp_path):
+        """A checkpoint from an incompatible map wire-format layout must
+        fail loudly, not deserialize garbage."""
+        app = make_histogram()
+        app.run(rng.normal(size=50))
+        path = save_checkpoint(app, tmp_path / "h.ckpt")
+        raw = bytearray(path.read_bytes())
+        header_len = int.from_bytes(raw[:8], "little")
+        header = json.loads(raw[8 : 8 + header_len].decode())
+        header["wire_version"] = 999
+        new_header = json.dumps(header).encode()
+        path.write_bytes(
+            len(new_header).to_bytes(8, "little")
+            + new_header
+            + bytes(raw[8 + header_len :])
+        )
+        with pytest.raises(CheckpointError, match="wire-format version"):
+            load_checkpoint(make_histogram(), path, fallback=False)
+
+
+class TestIntegrity:
+    def test_bit_flip_detected_by_crc(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=200))
+        path = save_checkpoint(app, tmp_path / "h.ckpt")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x40  # flip one payload bit
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(make_histogram(), path, fallback=False)
+
+    def test_truncation_detected(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=200))
+        path = save_checkpoint(app, tmp_path / "h.ckpt")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(make_histogram(), path, fallback=False)
+
+
+class TestRotation:
+    def test_keep_rotates_generations(self, rng, tmp_path):
+        app = make_histogram()
+        path = tmp_path / "h.ckpt"
+        for step in range(3):
+            app.run(rng.normal(size=100))
+            save_checkpoint(app, path, {"step": step}, keep=3)
+        assert path.exists()
+        assert (tmp_path / "h.ckpt.1").exists()
+        assert (tmp_path / "h.ckpt.2").exists()
+        assert load_checkpoint(make_histogram(), path) == {"step": 2}
+
+    def test_keep_one_is_previous_behaviour(self, rng, tmp_path):
+        app = make_histogram()
+        path = tmp_path / "h.ckpt"
+        for _ in range(3):
+            app.run(rng.normal(size=100))
+            save_checkpoint(app, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["h.ckpt"]
+
+    def test_corrupt_primary_falls_back_to_rotation(self, rng, tmp_path):
+        app = make_histogram()
+        path = tmp_path / "h.ckpt"
+        app.run(rng.normal(size=100))
+        save_checkpoint(app, path, {"gen": 0}, keep=2)
+        good_counts = app.counts().copy()
+        app.run(rng.normal(size=100))
+        # the plan truncates the new primary; .1 still holds gen 0
+        plan = FaultPlan([FaultSpec("storage", "truncate")])
+        save_checkpoint(app, path, {"gen": 1}, keep=2, fault_plan=plan)
+        assert plan.injected("storage") == 1
+
+        restored = make_histogram()
+        meta = load_checkpoint(restored, path)
+        assert meta == {"gen": 0}
+        assert np.array_equal(restored.counts(), good_counts)
+        counters = restored.telemetry.snapshot()["counters"]
+        assert counters["faults.checkpoint_fallbacks"] == 1
+
+    def test_all_generations_corrupt_raises_primary_error(self, rng, tmp_path):
+        app = make_histogram()
+        path = tmp_path / "h.ckpt"
+        for gen in range(2):
+            app.run(rng.normal(size=100))
+            save_checkpoint(app, path, {"gen": gen}, keep=2)
+        for p in (path, tmp_path / "h.ckpt.1"):
+            raw = bytearray(p.read_bytes())
+            raw[-1] ^= 1
+            p.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(make_histogram(), path)
+
+    def test_keep_must_be_positive(self, rng, tmp_path):
+        app = make_histogram()
+        app.run(rng.normal(size=10))
+        with pytest.raises(ValueError, match="keep"):
+            save_checkpoint(app, tmp_path / "h.ckpt", keep=0)

@@ -11,9 +11,10 @@ from repro.harness import FIGURES, fig01, fig05, fig06, fig07, fig08, fig09, fig
 
 
 class TestRegistry:
-    def test_all_eight_figures_registered(self):
+    def test_all_harnesses_registered(self):
         assert set(FIGURES) == {
-            "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"
+            "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "chaos",
         }
 
     def test_unknown_figure_rejected(self):
