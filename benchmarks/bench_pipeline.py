@@ -1,0 +1,240 @@
+"""Steady-state data plane: residency + state deltas + pipelining.
+
+Two measurements of the process-engine steady state this repo adds on
+top of the paper's time-sharing design, reported honestly for the
+current host:
+
+* **Dispatch bytes** — iterative k-means re-running one resident
+  partition.  Post-warmup, the legacy protocol would copy the partition
+  into a fresh shared-memory segment every run and ship a full pickled
+  scheduler clone with every task; the steady-state protocol ships a
+  per-iteration delta against the worker-cached core and skips the
+  input copy entirely (a residency hit).  The legacy cost is modeled
+  exactly — the old clone is re-pickled with today's scheduler — and
+  the reduction must be >= 5x.
+* **Pipelined wall-clock** — a simulation with an explicit wait phase
+  (the halo-exchange / I-O stall share of real time-steps; pure
+  CPU-bound phases cannot overlap on a single core) driven by the
+  serial and pipelined time-sharing drivers.  Pipelining must beat the
+  serial driver's total and stay bit-exact.
+
+Runs under pytest (``pytest benchmarks/bench_pipeline.py``) or
+standalone, writing ``BENCH_pipeline.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick]
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pickle
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analytics import Histogram, KMeans, make_blobs
+from repro.core import PipelinedTimeSharingDriver, SchedArgs, TimeSharingDriver
+from repro.core.serialization import serialize_map
+from repro.sim import GaussianEmulator
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_pipeline.json"
+
+DIMS = 4
+CLUSTERS = 8
+STALL_SECONDS = 0.03
+
+
+def legacy_state_nbytes(sched) -> int:
+    """Bytes of the pre-delta per-task scheduler payload: the full clone
+    (combination map included), exactly as the old protocol pickled it."""
+    clone = copy.copy(sched)
+    clone.data_ = None
+    clone.out_ = None
+    clone.comm = None
+    clone._fed = None
+    clone._engine = None
+    clone.telemetry = None
+    clone.stats = None
+    clone.fault_plan = None
+    return len(pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def ops_bytes(snap: dict, name: str) -> int:
+    return snap["ops"].get(name, {}).get("bytes", 0)
+
+
+def measure_dispatch(points: np.ndarray, init: np.ndarray, iters: int) -> dict:
+    """Steady-state (post-warmup) bytes per k-means run on the process
+    engine, against the modeled legacy protocol."""
+    app = KMeans(
+        SchedArgs(
+            num_threads=2,
+            chunk_size=DIMS,
+            extra_data=init,
+            num_iters=iters,
+            engine="process",
+        ),
+        dims=DIMS,
+    )
+    with app:
+        app.run(points)  # warm-up: publishes the core, copies the input
+        warm = app.telemetry_snapshot()
+        app.run(points)  # steady state: resident input, delta dispatch
+        steady = app.telemetry_snapshot()
+
+        counters = steady["counters"]
+        tasks = (
+            counters["engine.splits"] - warm["counters"]["engine.splits"]
+        )
+        # Bytes the steady-state run actually moved for input + state:
+        # residency copies (0 on a hit), core republishes (0 — cached),
+        # and per-task delta+map dispatch.
+        new_bytes = (
+            counters.get("engine.residency.copied_bytes", 0)
+            - warm["counters"].get("engine.residency.copied_bytes", 0)
+            + ops_bytes(steady, "engine.state.core")
+            - ops_bytes(warm, "engine.state.core")
+            + ops_bytes(steady, "engine.dispatch")
+            - ops_bytes(warm, "engine.dispatch")
+        )
+        # The legacy protocol for the same run: re-copy the partition,
+        # ship the full clone with every task, plus the same map bytes.
+        state_nbytes = legacy_state_nbytes(app)
+        map_nbytes = len(serialize_map(app.combination_map_, app.args.wire_format))
+        legacy_bytes = points.nbytes + tasks * (state_nbytes + map_nbytes)
+
+        hits = counters.get("engine.residency.hits", 0)
+        misses = counters.get("engine.residency.misses", 0)
+        return {
+            "tasks_per_run": tasks,
+            "legacy_state_nbytes_per_task": state_nbytes,
+            "legacy_bytes_per_run": legacy_bytes,
+            "steady_bytes_per_run": new_bytes,
+            "reduction_x": legacy_bytes / max(new_bytes, 1),
+            "residency_hits": hits,
+            "residency_misses": misses,
+            "residency_hit_rate": hits / max(hits + misses, 1),
+            "bytes_saved": counters.get("engine.residency.bytes_saved", 0),
+        }
+
+
+class StallingEmulator(GaussianEmulator):
+    """Emulator with an explicit per-step wait phase.
+
+    Real time-steps are not pure compute: halo exchanges, collective
+    waits, and I/O flushes leave the cores idle (the in-situ premise —
+    analytics can use those cycles).  The stall is modeled as a sleep so
+    a single-core host genuinely has the idle window the pipelined
+    driver is designed to fill; the compute part (the RNG fill) stays
+    bit-identical to :class:`GaussianEmulator`.
+    """
+
+    def __init__(self, *args, stall_seconds: float = STALL_SECONDS, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.stall_seconds = stall_seconds
+
+    def advance(self):
+        result = super().advance()
+        time.sleep(self.stall_seconds)
+        return result
+
+    def advance_into(self, out):
+        result = super().advance_into(out)
+        time.sleep(self.stall_seconds)
+        return result
+
+
+def measure_pipeline(steps: int, elements: int) -> dict:
+    """Serial vs pipelined wall-clock over the stalling simulation."""
+
+    def run(driver_cls):
+        sim = StallingEmulator(step_elements=elements, seed=29)
+        app = Histogram(SchedArgs(num_threads=2), lo=-4, hi=4, num_buckets=32)
+        with app:
+            t0 = time.perf_counter()
+            result = driver_cls(sim, app).run(steps)
+            seconds = time.perf_counter() - t0
+            counts = {k: v.count for k, v in app.get_combination_map().sorted_items()}
+        return seconds, result, counts
+
+    serial_seconds, serial_result, serial_counts = run(TimeSharingDriver)
+    piped_seconds, piped_result, piped_counts = run(PipelinedTimeSharingDriver)
+    assert piped_counts == serial_counts, "pipelined output diverged"
+    return {
+        "steps": steps,
+        "stall_seconds_per_step": STALL_SECONDS,
+        "serial_seconds": serial_seconds,
+        "pipelined_seconds": piped_seconds,
+        "speedup_x": serial_seconds / piped_seconds,
+        "overlap_seconds": piped_result.overlap_seconds,
+        "serial_overlap_seconds": serial_result.overlap_seconds,
+        "bit_exact": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (assertions only; timing happens standalone)
+# ---------------------------------------------------------------------------
+
+def test_dispatch_reduction_smoke():
+    points, _ = make_blobs(2_000, DIMS, CLUSTERS, seed=17)
+    init = points.reshape(-1, DIMS)[:CLUSTERS].copy()
+    r = measure_dispatch(points, init, iters=3)
+    assert r["residency_hit_rate"] > 0
+    assert r["reduction_x"] >= 5.0
+
+
+def test_pipeline_overlap_smoke():
+    r = measure_pipeline(steps=4, elements=50_000)
+    assert r["bit_exact"]
+    assert r["pipelined_seconds"] < r["serial_seconds"]
+
+
+# ---------------------------------------------------------------------------
+# standalone mode: write BENCH_pipeline.json
+# ---------------------------------------------------------------------------
+
+def main(quick: bool = False) -> dict:
+    n_points = 5_000 if quick else 50_000
+    steps = 4 if quick else 8
+    elements = 50_000 if quick else 200_000
+    points, _ = make_blobs(n_points, DIMS, CLUSTERS, seed=17)
+    init = points.reshape(-1, DIMS)[:CLUSTERS].copy()
+
+    dispatch = measure_dispatch(points, init, iters=3 if quick else 5)
+    pipeline = measure_pipeline(steps=steps, elements=elements)
+    results = {"quick": quick, "dispatch": dispatch, "pipeline": pipeline}
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"dispatch (k-means, {n_points} points, process engine, post-warmup):")
+    print(
+        f"  legacy  {dispatch['legacy_bytes_per_run']:>12,} B/run"
+        f"   ({dispatch['legacy_state_nbytes_per_task']} B state x"
+        f" {dispatch['tasks_per_run']} tasks + input copy)"
+    )
+    print(
+        f"  steady  {dispatch['steady_bytes_per_run']:>12,} B/run"
+        f"   reduction {dispatch['reduction_x']:.1f}x,"
+        f" hit rate {dispatch['residency_hit_rate']:.2f}"
+    )
+    print(f"pipeline ({steps} steps, {STALL_SECONDS * 1e3:.0f} ms stall/step):")
+    print(
+        f"  serial    {pipeline['serial_seconds'] * 1e3:8.1f} ms\n"
+        f"  pipelined {pipeline['pipelined_seconds'] * 1e3:8.1f} ms"
+        f"   speedup {pipeline['speedup_x']:.2f}x,"
+        f" overlap {pipeline['overlap_seconds'] * 1e3:.1f} ms"
+    )
+    print(f"wrote {RESULT_PATH}")
+    assert dispatch["reduction_x"] >= 5.0, "steady-state dispatch must be >= 5x smaller"
+    assert dispatch["residency_hit_rate"] > 0, "steady-state run must hit residency"
+    assert pipeline["pipelined_seconds"] < pipeline["serial_seconds"], (
+        "pipelined driver must beat the serial driver with a stalling simulation"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

@@ -115,6 +115,15 @@ class KMeans(Scheduler):
     def convert(self, red_obj: RedObj, out: np.ndarray, key: int) -> None:
         out[key] = red_obj.centroid
 
+    def mutable_state(self) -> dict:
+        # Centroids travel in the combination map; the only other state
+        # post_combine mutates is the convergence shift, so per-iteration
+        # worker dispatch ships just this float plus the map delta.
+        return {"last_shift": self.last_shift}
+
+    def load_state(self, state: dict) -> None:
+        self.last_shift = state["last_shift"]
+
     def vector_reduce(
         self, data: np.ndarray, start: int, stop: int, red_map: KeyedMap
     ) -> None:

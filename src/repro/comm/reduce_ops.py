@@ -106,6 +106,21 @@ def structured_reduce_op(
     return ReduceOp("structured", combine)
 
 
+def _nan_overlay(acc: Any, value: Any) -> Any:
+    """Overwrite ``acc`` with the non-NaN elements of ``value``.
+
+    Associative overlay for assembling distributed partial outputs:
+    positions a rank did not write are NaN and contribute nothing;
+    written positions win in rank order (later ranks override earlier
+    ones, matching a sequential overlay loop).
+    """
+    acc = np.asarray(acc)
+    value = np.asarray(value)
+    mask = ~np.isnan(value)
+    acc[mask] = value[mask]
+    return acc
+
+
 SUM = ReduceOp("sum", _np_pairwise(np.add))
 PROD = ReduceOp("prod", _np_pairwise(np.multiply))
 MAX = ReduceOp("max", _np_pairwise(np.maximum))
@@ -113,6 +128,7 @@ MIN = ReduceOp("min", _np_pairwise(np.minimum))
 LAND = ReduceOp("land", lambda a, b: np.logical_and(a, b))
 LOR = ReduceOp("lor", lambda a, b: np.logical_or(a, b))
 CONCAT = ReduceOp("concat", lambda a, b: list(a) + list(b))
+NANOVERLAY = ReduceOp("nanoverlay", _nan_overlay)
 
 
 def as_reduce_op(op: ReduceOp | Combiner | str) -> ReduceOp:
@@ -141,4 +157,5 @@ _BUILTIN = {
     "land": LAND,
     "lor": LOR,
     "concat": CONCAT,
+    "nanoverlay": NANOVERLAY,
 }

@@ -9,7 +9,8 @@ Public surface:
 * :class:`SchedArgs` — runtime configuration (Table 1, function 1).
 * :class:`RedObj` — reduction object base class.
 * :class:`TimeSharingDriver` / :class:`SpaceSharingDriver` — the two
-  in-situ modes.
+  in-situ modes (:class:`PipelinedTimeSharingDriver` adds the
+  double-buffered overlapped variant of the former).
 * :class:`SmartPipeline` — chained Smart jobs with local-only stages.
 """
 
@@ -39,7 +40,12 @@ from .serialization import (
     serialize_map,
 )
 from .space_sharing import CoreSplit, SpaceSharingDriver, SpaceSharingResult
-from .time_sharing import StepTiming, TimeSharingDriver, TimeSharingResult
+from .time_sharing import (
+    PipelinedTimeSharingDriver,
+    StepTiming,
+    TimeSharingDriver,
+    TimeSharingResult,
+)
 
 __all__ = [
     "BufferClosed",
@@ -60,6 +66,7 @@ __all__ = [
     "SerialEngine",
     "ThreadEngine",
     "create_engine",
+    "PipelinedTimeSharingDriver",
     "PipelineStage",
     "RedObj",
     "RunStats",

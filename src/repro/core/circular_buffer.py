@@ -40,6 +40,7 @@ class CircularBuffer:
         self.gets = 0
         self.producer_blocks = 0
         self.consumer_blocks = 0
+        self.high_water = 0  # peak occupancy (pipeline-depth utilisation)
 
     def __len__(self) -> int:
         with self._cond:
@@ -68,6 +69,8 @@ class CircularBuffer:
             self._cells[tail] = item
             self._count += 1
             self.puts += 1
+            if self._count > self.high_water:
+                self.high_water = self._count
             self._cond.notify_all()
 
     def get(self, timeout: float | None = None) -> Any:
@@ -99,3 +102,14 @@ class CircularBuffer:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy counters as one dict (for telemetry snapshots)."""
+        with self._cond:
+            return {
+                "puts": self.puts,
+                "gets": self.gets,
+                "producer_blocks": self.producer_blocks,
+                "consumer_blocks": self.consumer_blocks,
+                "high_water": self.high_water,
+            }

@@ -80,6 +80,17 @@ class SchedArgs:
         contiguous keys-array plus one structured records-array and are
         merged with per-field ufuncs; schemaless maps still fall back
         to pickle).
+    residency:
+        Process-engine input residency: ``"auto"`` (the default) keeps
+        the partition's shared-memory segment alive across ``run()``
+        calls and skips the copy-in when the incoming array is the same
+        unchanged buffer (iterative analytics re-running one partition)
+        or an engine ``step_buffer`` slot the producer filled directly
+        (double-buffered drivers); ``"off"`` restores the
+        segment-per-run behaviour — allocate, copy, release every run.
+        Contract for ``"auto"``: a caller that rewrites a previously-run
+        array *in place* must call ``Scheduler.notify_data_changed()``
+        (the time-sharing drivers do) so the engine re-copies.
     fault_policy:
         How the runtime reacts to a detected fault (a dead or hung
         process-engine worker): ``"fail_fast"`` (the default — the
@@ -107,6 +118,7 @@ class SchedArgs:
     disable_early_emission: bool = False
     combine_algorithm: str = "gather"
     wire_format: str = "pickle"
+    residency: str = "auto"
     fault_policy: str | FaultPolicy = "fail_fast"
 
     def __post_init__(self) -> None:
@@ -129,6 +141,10 @@ class SchedArgs:
             raise ValueError(
                 f"wire_format must be 'pickle' or 'columnar', "
                 f"got {self.wire_format!r}"
+            )
+        if self.residency not in ("auto", "off"):
+            raise ValueError(
+                f"residency must be 'auto' or 'off', got {self.residency!r}"
             )
         FaultPolicy.parse(self.fault_policy)  # raises on unknown mode
         if self.engine is not None and self.engine not in ENGINE_NAMES:

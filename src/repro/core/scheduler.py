@@ -40,6 +40,7 @@ import numpy as np
 
 from ..comm.interface import Communicator
 from ..comm.local import LocalComm
+from ..comm.reduce_ops import NANOVERLAY
 from ..faults import EngineFaultError, FaultPlan
 from ..telemetry import Recorder
 from .chunk import Chunk, Split, iter_blocks, make_splits
@@ -82,6 +83,7 @@ class RunStats:
 
     chunks_processed = _run_counter("chunks_processed")
     accumulate_calls = _run_counter("accumulate_calls")
+    vector_reduce_calls = _run_counter("vector_reduce_calls")
     early_emissions = _run_counter("early_emissions")
     iterations_run = _run_counter("iterations_run")
     runs = _run_counter("runs")
@@ -101,11 +103,36 @@ class RunStats:
         fields = ", ".join(
             f"{name}={getattr(self, name)}"
             for name in (
-                "chunks_processed", "accumulate_calls", "early_emissions",
-                "iterations_run", "runs", "peak_red_objects", "global_combinations",
+                "chunks_processed", "accumulate_calls", "vector_reduce_calls",
+                "early_emissions", "iterations_run", "runs", "peak_red_objects",
+                "global_combinations",
             )
         )
         return f"RunStats({fields})"
+
+
+#: Scheduler attributes that never ship to engine workers: parent-owned
+#: infrastructure (locks, pools, arrays viewed through shared memory) and
+#: state the process engine transfers through its own channels (the
+#: combination map and the layout context travel in the per-iteration
+#: delta; the input partition travels through shared memory).
+_ENGINE_LOCAL_ATTRS = frozenset(
+    {
+        "args",
+        "comm",
+        "combination_map_",
+        "telemetry",
+        "stats",
+        "fault_plan",
+        "data_",
+        "out_",
+        "global_offset_",
+        "total_len_",
+        "_engine",
+        "_fed",
+        "_data_version",
+    }
+)
 
 
 class Scheduler:
@@ -146,6 +173,10 @@ class Scheduler:
         self._global_combination = True
         self._fed: CircularBuffer | None = None
         self._extra_processed = False
+        # Input-residency token: bumped by notify_data_changed() so the
+        # process engine can tell "same array, same contents" (skip the
+        # shared-memory copy) from "same array, rewritten in place".
+        self._data_version = 0
         # Per-run context visible to user callbacks (paper exposes the same
         # names with trailing underscores).
         self.data_: np.ndarray | None = None
@@ -249,6 +280,34 @@ class Scheduler:
     def has_vector_path(self) -> bool:
         return type(self).vector_reduce is not Scheduler.vector_reduce
 
+    # Optional state-delta hooks ----------------------------------------
+    def mutable_state(self) -> dict:
+        """Iteration-mutable scheduler state shipped to engine workers.
+
+        The process engine splits worker dispatch into an immutable
+        *core* (callbacks, ``SchedArgs``, constants — published once per
+        worker lifetime through shared memory and cached worker-side by
+        version) and a small per-iteration *delta* carrying the
+        combination map plus this dictionary.  The default ships every
+        instance attribute that is not parent-owned infrastructure —
+        always correct, at the cost of re-shipping everything each
+        iteration.  Iterative applications whose ``post_combine``
+        mutates little outside the combination map (k-means) override
+        this together with :meth:`load_state` to ship only that state.
+        Overrides must cover **everything** worker callbacks read that
+        changes between iterations; anything omitted is frozen at its
+        value when the core was published.
+        """
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if name not in _ENGINE_LOCAL_ATTRS
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a :meth:`mutable_state` payload (worker side)."""
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # API provided by the runtime (paper Table 1, upper half)
     # ------------------------------------------------------------------
@@ -329,6 +388,21 @@ class Scheduler:
     def current_state_nbytes(self) -> int:
         """Approximate bytes held in the combination map right now."""
         return self.combination_map_.state_nbytes()
+
+    def notify_data_changed(self) -> None:
+        """Declare that a previously-run input array was rewritten in place.
+
+        The process engine keeps the last partition resident in shared
+        memory and skips the copy when :meth:`run` receives the *same,
+        unchanged* array again (``SchedArgs.residency``).  An in-place
+        producer (a simulation overwriting its output buffer, paper
+        Figure 3) must call this between steps so the engine re-copies;
+        :class:`~repro.core.time_sharing.TimeSharingDriver` does it
+        automatically.  Arrays handed out by the engine's own
+        ``step_buffer`` slots need no notification — the engine detects
+        those directly and bumps the slot's data epoch itself.
+        """
+        self._data_version += 1
 
     # ------------------------------------------------------------------
     # Execution engine + telemetry
@@ -592,7 +666,9 @@ class Scheduler:
         self.vector_reduce(data, split.start, split.stop, red_map)
         n_chunks = -(-len(split) // self.args.chunk_size)
         self.telemetry.inc("run.chunks_processed", n_chunks)
-        self.telemetry.inc("run.accumulate_calls", n_chunks)
+        # One bulk vector_reduce call covered the whole split; counting it
+        # as n_chunks accumulate calls would fake scalar-path activity.
+        self.telemetry.inc("run.vector_reduce_calls")
         emitted: list[int] = []
         if self.args.disable_early_emission:
             return emitted
@@ -614,14 +690,24 @@ def merge_distributed_output(comm: Communicator, out: np.ndarray) -> np.ndarray:
     Window-based analytics with early emission write most results into the
     local output of the rank that owned the window (paper Section 4.2);
     only boundary keys flow through global combination.  This helper
-    gathers every rank's partial output — positions a rank did not write
-    must be NaN — and overlays them.  Every rank receives the full array.
+    merges every rank's partial output — positions a rank did not write
+    must be NaN — and every rank receives the full array.
+
+    The merge is a NaN-aware elementwise allreduce (reduce to the master,
+    broadcast back) through :data:`~repro.comm.reduce_ops.NANOVERLAY`:
+    partials overlay in rank order, so written positions win exactly as
+    they did under the previous sequential overlay of a full allgather.
+    The allgather moved O(P·N) per rank; this path moves O(N), and the
+    modeled per-rank savings are recorded as the ``merge_output_saved``
+    comm op.
     """
     if comm.size == 1:
         return out
-    partials = comm.allgather(out)
-    merged = np.array(partials[0], copy=True)
-    for partial in partials[1:]:
-        mask = ~np.isnan(partial)
-        merged[mask] = partial[mask]
+    merged = comm.reduce(out, op=NANOVERLAY, root=0)
+    merged = comm.bcast(merged, root=0)
+    profiler = getattr(comm, "profiler", None)
+    if profiler is not None:
+        saved = max(comm.size - 2, 0) * int(np.asarray(out).nbytes)
+        if saved:
+            profiler.record("merge_output_saved", nbytes=saved)
     return merged

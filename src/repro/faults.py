@@ -14,7 +14,10 @@ of faults that threads into three runtime layers via injection hooks —
 * **engine** — :class:`~repro.core.engine.process.ProcessEngine`
   consults the plan per dispatched split task: the worker executing the
   task can be killed (``os._exit``) or hung (a long sleep) to exercise
-  the pool supervisor.
+  the pool supervisor.  A pool respawn also invalidates the engine's
+  steady-state caches — the published scheduler core is re-issued under
+  a fresh version (counted in ``engine.residency.invalidations``), so
+  relaunched workers can never alias state cached before the fault.
 * **storage** — :func:`~repro.core.checkpoint.save_checkpoint` consults
   the plan after each atomic write: the file can be truncated or have a
   seeded bit flipped, exercising CRC verification and rotation fallback.

@@ -8,7 +8,7 @@ counters, timers, and per-operation (calls, bytes) tallies — so the
 harness, the perfmodel calibration, and the benchmarks read a single
 structured snapshot instead of three ad-hoc ones.
 
-Three primitives:
+Four primitives:
 
 * **counters** — monotonically adjusted integers (``inc``), plus
   high-water marks (``observe_max``).  Namespaced by dotted prefixes:
@@ -17,6 +17,9 @@ Three primitives:
   ``span`` context manager), tracking call count, total and max seconds.
 * **ops** — per-operation-kind call/byte tallies (``record_op``), the
   traffic profiler's unit of account.
+* **gauges** — last-written point-in-time values (``set_gauge``), for
+  live state such as resident shared-memory bytes or a pipeline
+  buffer's high-water occupancy.
 
 All mutation is serialized by one internal lock, so a recorder may be
 shared by the scheduler, a thread engine's workers, and a communicator.
@@ -71,6 +74,7 @@ class Recorder:
         self._counters: dict[str, int] = {}
         self._timers: dict[str, TimerStats] = {}
         self._ops: dict[str, OpStats] = {}
+        self._gauges: dict[str, float] = {}
 
     # -- counters ----------------------------------------------------------
     def inc(self, name: str, value: int = 1) -> int:
@@ -123,6 +127,16 @@ class Recorder:
             timer = self._timers.get(name)
             return TimerStats(timer.calls, timer.seconds, timer.max_seconds) if timer else TimerStats()
 
+    # -- gauges ------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the current value of a point-in-time quantity."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
     # -- ops ---------------------------------------------------------------
     def record_op(self, op: str, nbytes: int = 0) -> None:
         with self._lock:
@@ -149,8 +163,9 @@ class Recorder:
                 self._counters.clear()
                 self._timers.clear()
                 self._ops.clear()
+                self._gauges.clear()
                 return
-            for table in (self._counters, self._timers, self._ops):
+            for table in (self._counters, self._timers, self._ops, self._gauges):
                 for name in [n for n in table if n.startswith(prefix)]:
                     del table[name]
 
@@ -159,11 +174,13 @@ class Recorder:
 
         ``{"counters": {name: int},
            "timers":  {name: {"calls", "seconds", "max_seconds"}},
-           "ops":     {name: {"calls", "bytes"}}}``
+           "ops":     {name: {"calls", "bytes"}},
+           "gauges":  {name: float}}``
         """
         with self._lock:
             return {
                 "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
                 "timers": {
                     name: {
                         "calls": t.calls,

@@ -118,7 +118,7 @@ class TestResetAndSnapshot:
         rec = self._populated()
         rec.reset()
         snap = rec.snapshot()
-        assert snap == {"counters": {}, "timers": {}, "ops": {}}
+        assert snap == {"counters": {}, "timers": {}, "ops": {}, "gauges": {}}
 
     def test_prefixed_reset_clears_only_matching_names(self):
         rec = self._populated()
