@@ -25,7 +25,7 @@ from .launcher import spmd_launch, supervised_launch
 from .local import LocalComm
 from .profiler import OpStats, TrafficProfiler, payload_nbytes
 from .reduce_ops import CONCAT, LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp, as_reduce_op
-from .sim import SimCluster, SimComm
+from .sim import InterleaveSchedule, SimCluster, SimComm
 from .subgroup import UNDEFINED, GroupComm, split_comm
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "RankMismatchError",
     "ReduceOp",
     "GroupComm",
+    "InterleaveSchedule",
     "SimCluster",
     "SimComm",
     "SpmdError",

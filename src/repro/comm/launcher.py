@@ -35,6 +35,7 @@ def spmd_launch(
     timeout: float = DEFAULT_TIMEOUT,
     deadline: float | None = None,
     fault_plan: "FaultPlan | None" = None,
+    interleave=None,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``n_ranks`` SPMD ranks; return rank results.
 
@@ -61,6 +62,11 @@ def spmd_launch(
     fault_plan:
         Optional :class:`~repro.faults.FaultPlan` installed on the
         cluster's communication hooks (no-op when ``None``).
+    interleave:
+        Optional :class:`~repro.comm.sim.InterleaveSchedule` installed
+        on the cluster: deterministic seeded jitter before every
+        communication call (the conformance fuzzer's hook).  Ignored
+        for single-rank runs.
 
     Raises
     ------
@@ -86,6 +92,7 @@ def spmd_launch(
         timeout=timeout,
         deadline=deadline,
         fault_plan=fault_plan,
+        interleave=interleave,
     )
     results: list[Any] = [None] * n_ranks
     failures: dict[int, BaseException] = {}

@@ -100,6 +100,62 @@ class _Context:
         self.check_abort()
 
 
+class InterleaveSchedule:
+    """Deterministic per-rank micro-delays that perturb thread interleaving.
+
+    The conformance fuzzer (``repro.verify.fuzz``) uses this to shake
+    out collective-ordering races: before every communication call, a
+    rank sleeps for a seed-derived jitter keyed by ``(seed, rank,
+    per-rank call index)``.  The mapping is a pure integer mix (no
+    global RNG state), so the same seed replays the exact same
+    interleaving pressure — a failing schedule is reproducible from its
+    seed alone.
+
+    Zero-cost when not installed; a fresh instance must be used per run
+    (call indices are stateful).
+    """
+
+    def __init__(self, seed: int, max_delay: float = 0.0015,
+                 probability: float = 0.6):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.seed = int(seed)
+        self.max_delay = float(max_delay)
+        self.probability = float(probability)
+        self._lock = threading.Lock()
+        self._calls: dict[int, int] = defaultdict(int)
+
+    @staticmethod
+    def _mix(*parts: int) -> int:
+        # splitmix64-style avalanche over the concatenated inputs.
+        mask = (1 << 64) - 1
+        x = 0x9E3779B97F4A7C15
+        for part in parts:
+            x = (x + (int(part) & mask) + 0x9E3779B97F4A7C15) & mask
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & mask
+            x ^= x >> 31
+        return x
+
+    def delay(self, rank: int) -> float:
+        """Seconds this rank should sleep before its next comm call."""
+        with self._lock:
+            index = self._calls[rank]
+            self._calls[rank] = index + 1
+        mixed = self._mix(self.seed, rank, index)
+        gate = (mixed & 0xFFFFFF) / float(1 << 24)
+        if gate >= self.probability:
+            return 0.0
+        return ((mixed >> 24) & 0xFFFFFF) / float(1 << 24) * self.max_delay
+
+    def reset(self) -> None:
+        """Rewind call indices so the same instance replays its schedule."""
+        with self._lock:
+            self._calls.clear()
+
+
 class SimCluster:
     """Factory and shared state for a set of :class:`SimComm` rank handles.
 
@@ -125,6 +181,11 @@ class SimCluster:
         rank's communication calls consult it: messages may be delayed
         or dropped and ranks crashed at seeded call indices.  ``None``
         (the default) keeps every hook a no-op.
+    interleave:
+        Optional :class:`InterleaveSchedule`.  When set, every rank
+        sleeps a seed-derived jitter before each communication call,
+        deterministically perturbing barrier arrival order (the
+        conformance schedule fuzzer's hook).  ``None`` costs nothing.
     """
 
     def __init__(
@@ -134,6 +195,7 @@ class SimCluster:
         timeout: float = DEFAULT_TIMEOUT,
         deadline: float | None = None,
         fault_plan: "FaultPlan | None" = None,
+        interleave: InterleaveSchedule | None = None,
     ):
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -144,6 +206,7 @@ class SimCluster:
         self.timeout = timeout
         self.deadline = deadline
         self.fault_plan = fault_plan
+        self.interleave = interleave
         self._world = _Context(size, timeout, deadline)
         self._contexts: list[_Context] = [self._world]
         self._ctx_lock = threading.Lock()
@@ -197,6 +260,11 @@ class SimComm(Communicator):
         crashes raise :class:`~repro.faults.InjectedRankCrash` exactly
         where a real process death would surface.
         """
+        schedule = self._cluster.interleave
+        if schedule is not None:
+            jitter = schedule.delay(self._rank)
+            if jitter > 0.0:
+                time.sleep(jitter)
         plan = self._cluster.fault_plan
         if plan is None:
             return None

@@ -48,6 +48,11 @@ class ExecutionEngine(ABC):
     """
 
     name: str = "?"
+    #: True when the backend reduces splits in a fixed order on one
+    #: thread — the property the conformance oracle requires of its
+    #: reference execution (``repro.verify`` refuses a non-deterministic
+    #: oracle engine).
+    deterministic: bool = False
 
     def __init__(self, num_workers: int, telemetry: "Recorder"):
         self.num_workers = int(num_workers)

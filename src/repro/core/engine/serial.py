@@ -24,6 +24,7 @@ class SerialEngine(ExecutionEngine):
     """
 
     name = "serial"
+    deterministic = True
 
     def map_splits(self, splits: Iterable[Split], red_maps: list[KeyedMap]) -> set[int]:
         reduce_fn = self._reduce_fn()

@@ -45,6 +45,7 @@ Recovery behaviour is selected independently of the plan by
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -146,6 +147,58 @@ class FaultSpec:
         if self.times < 1:
             raise ValueError(f"times must be >= 1, got {self.times}")
 
+    def to_token(self) -> str:
+        """Compact text form: ``layer:kind[@at_call][*times][~seconds][#target][/op]``.
+
+        Default-valued parts are omitted; ``FaultSpec.parse`` round-trips
+        the result.  Used in conformance fingerprints and repro lines.
+        """
+        token = f"{self.layer}:{self.kind}"
+        if self.at_call:
+            token += f"@{self.at_call}"
+        if self.times != 1:
+            token += f"*{self.times}"
+        if self.seconds != 0.05:
+            token += f"~{self.seconds:g}"
+        if self.target is not None:
+            token += f"#{self.target}"
+        if self.op is not None:
+            token += f"/{self.op}"
+        return token
+
+    @classmethod
+    def parse(cls, token: str) -> "FaultSpec":
+        """Inverse of :meth:`to_token`."""
+        match = _TOKEN_RE.match(token.strip())
+        if match is None:
+            raise ValueError(
+                f"bad fault token {token!r}; expected "
+                "layer:kind[@at_call][*times][~seconds][#target][/op]")
+        groups = match.groupdict()
+        kwargs: dict[str, Any] = {
+            "layer": groups["layer"], "kind": groups["kind"]}
+        if groups["at_call"] is not None:
+            kwargs["at_call"] = int(groups["at_call"])
+        if groups["times"] is not None:
+            kwargs["times"] = int(groups["times"])
+        if groups["seconds"] is not None:
+            kwargs["seconds"] = float(groups["seconds"])
+        if groups["target"] is not None:
+            kwargs["target"] = int(groups["target"])
+        if groups["op"] is not None:
+            kwargs["op"] = groups["op"]
+        return cls(**kwargs)
+
+
+_TOKEN_RE = re.compile(
+    r"^(?P<layer>[a-z]+):(?P<kind>[a-z]+)"
+    r"(?:@(?P<at_call>\d+))?"
+    r"(?:\*(?P<times>\d+))?"
+    r"(?:~(?P<seconds>[0-9.eE+-]+))?"
+    r"(?:#(?P<target>\d+))?"
+    r"(?:/(?P<op>[a-z_]+))?$"
+)
+
 
 @dataclass(frozen=True)
 class Injection:
@@ -221,6 +274,24 @@ class FaultPlan:
         """How many calls the plan has observed at ``(layer, site)``."""
         with self._lock:
             return self._counters.get((layer, site), 0)
+
+    def fingerprint(self) -> str:
+        """Seed-pinned text form, ``seed=S;token,token,...`` — stable
+        across runs, embeddable in conformance repro lines."""
+        tokens = ",".join(spec.to_token() for spec in self.specs)
+        return f"seed={self.seed};{tokens}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`fingerprint` (the seed part is optional)."""
+        seed = 0
+        body = text.strip()
+        if body.startswith("seed="):
+            head, _, body = body.partition(";")
+            seed = int(head[len("seed="):])
+        specs = [FaultSpec.parse(token)
+                 for token in body.split(",") if token.strip()]
+        return cls(specs, seed=seed)
 
     def injected(self, layer: str | None = None) -> int:
         """Number of faults fired so far (optionally for one layer)."""

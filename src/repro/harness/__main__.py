@@ -9,11 +9,18 @@ from .figures import FIGURES, run_all, run_figure
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "conform":
+        from .conform import main as conform_main
+
+        return conform_main(args[1:])
     if not args or args[0] in ("-h", "--help"):
         print("usage: python -m repro.harness <figure> [figure ...] | all")
+        print("       python -m repro.harness conform [--smoke|--full] ...")
         print("\navailable figures:")
         for name, (_, description) in FIGURES.items():
             print(f"  {name:7s} {description}")
+        print("\nconform: differential conformance matrix vs the serial "
+              "oracle (see conform --help)")
         return 0
     if args == ["all"]:
         run_all()

@@ -98,6 +98,14 @@ class Recorder:
         with self._lock:
             return self._counters.get(name, default)
 
+    def counters(self, prefix: str | None = None) -> dict[str, int]:
+        """Snapshot of all counters, optionally filtered by name prefix."""
+        with self._lock:
+            if prefix is None:
+                return dict(self._counters)
+            return {name: value for name, value in self._counters.items()
+                    if name.startswith(prefix)}
+
     def merge_counters(self, counters: dict[str, int]) -> None:
         """Add a counter snapshot (e.g. from a worker process) into this one."""
         with self._lock:

@@ -1,0 +1,290 @@
+"""Configuration matrix for differential conformance runs.
+
+A :class:`Config` names one point in the runtime's configuration space.
+Its axes split into two groups:
+
+* **structure axes** (workload, threads, block size, vectorization,
+  rank count, data seed) legitimately change how float summation is
+  grouped, so candidate and oracle must agree on them;
+* **transparent axes** (engine, wire format, combine algorithm,
+  residency, fault plan, driver) are the paper's "transparent to the
+  analytics programmer" claim — flipping any of them must leave the
+  final combination map bit-identical.
+
+``oracle_of`` resets the transparent axes to the reference execution
+(serial engine, pickle wire, gather combine, default residency, no
+faults, direct driver).  ``build_matrix`` enumerates the valid space
+and prunes it with greedy pairwise covering so every pair of axis
+values involving a transparent axis appears in at least one config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+
+from .workloads import get_workload, workload_names
+
+__all__ = [
+    "Config",
+    "STRUCTURE_AXES",
+    "TRANSPARENT_AXES",
+    "axis_values",
+    "enumerate_configs",
+    "pairwise_prune",
+    "build_matrix",
+]
+
+# Axes whose value must match between candidate and oracle.
+STRUCTURE_AXES = (
+    "workload", "num_threads", "block_size", "vectorized", "ranks", "seed",
+)
+# Axes the runtime promises are invisible in the result.
+TRANSPARENT_AXES = (
+    "engine", "wire_format", "combine_algorithm", "residency", "fault",
+    "driver",
+)
+
+_ORACLE_VALUES = {
+    "engine": "serial",
+    "wire_format": "pickle",
+    "combine_algorithm": "gather",
+    "residency": "auto",
+    "fault": "none",
+    "driver": "direct",
+}
+
+# Short keys used in fingerprints / --config tokens.
+_SHORT = {
+    "workload": "workload",
+    "engine": "engine",
+    "wire_format": "wire",
+    "combine_algorithm": "algo",
+    "residency": "residency",
+    "fault": "fault",
+    "driver": "driver",
+    "num_threads": "threads",
+    "block_size": "block",
+    "vectorized": "vec",
+    "ranks": "ranks",
+    "seed": "seed",
+}
+_LONG = {v: k for k, v in _SHORT.items()}
+_INT_AXES = {"num_threads", "block_size", "ranks", "seed"}
+
+DEFAULT_SEED = 2015
+
+
+@dataclass(frozen=True)
+class Config:
+    """One point in the engine × wire × residency × fault × driver space."""
+
+    workload: str
+    engine: str = "serial"
+    wire_format: str = "pickle"
+    combine_algorithm: str = "gather"
+    residency: str = "auto"
+    fault: str = "none"
+    driver: str = "direct"
+    num_threads: int = 1
+    block_size: int = 0  # 0 = whole partition in one block
+    vectorized: bool = False
+    ranks: int = 1
+    seed: int = DEFAULT_SEED
+
+    def fingerprint(self) -> str:
+        parts = []
+        for axis in _SHORT:
+            value = getattr(self, axis)
+            if axis == "vectorized":
+                value = int(value)
+            parts.append(f"{_SHORT[axis]}={value}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "Config":
+        kwargs: dict = {}
+        for token in text.replace(";", ",").split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, _, value = token.partition("=")
+            key = key.strip()
+            axis = _LONG.get(key, key)
+            if axis not in _SHORT:
+                raise ValueError(f"unknown config axis {key!r} in {text!r}")
+            if axis == "vectorized":
+                kwargs[axis] = value.strip() not in ("0", "False", "false")
+            elif axis in _INT_AXES:
+                kwargs[axis] = int(value)
+            else:
+                kwargs[axis] = value.strip()
+        if "workload" not in kwargs:
+            raise ValueError(f"config token must name a workload: {text!r}")
+        return cls(**kwargs)
+
+    def oracle_of(self) -> "Config":
+        """The reference execution sharing this config's structure axes."""
+        return dataclasses.replace(self, **_ORACLE_VALUES)
+
+    @property
+    def is_oracle(self) -> bool:
+        return all(getattr(self, a) == v for a, v in _ORACLE_VALUES.items())
+
+    def structure_key(self) -> tuple:
+        return tuple(getattr(self, a) for a in STRUCTURE_AXES)
+
+
+def axis_values(smoke: bool = True) -> dict[str, tuple]:
+    """Candidate values per axis (``workload`` is supplied separately)."""
+    return {
+        "engine": ("serial", "thread", "process"),
+        "wire_format": ("pickle", "columnar"),
+        "combine_algorithm": ("gather", "tree", "allreduce"),
+        "residency": ("auto", "off"),
+        "fault": ("none", "engine-kill", "comm-delay"),
+        "driver": ("direct", "pipelined"),
+        "num_threads": (1, 3) if smoke else (1, 2, 3),
+        "block_size": (0, 256),
+        "vectorized": (False, True),
+        "ranks": (1, 2) if smoke else (1, 2, 3),
+    }
+
+
+def is_valid(config: Config, smoke: bool = True) -> bool:
+    """Structural validity of an axis combination.
+
+    Rank counts stay ≤ 3 on purpose: at 4+ ranks the binomial-tree
+    combine changes the rank-merge grouping (``(r0⊕r1)⊕(r2⊕r3)`` vs the
+    gather left fold) and bit-equality across combine algorithms is no
+    longer a runtime promise.
+    """
+    w = get_workload(config.workload)
+    if config.vectorized and not w.has_vector_path:
+        return False
+    if config.driver == "pipelined" and not (w.steps_ok and config.ranks == 1):
+        return False
+    if config.fault == "engine-kill" and not (
+        config.engine == "process"
+        and config.ranks == 1
+        and config.num_threads >= 2
+    ):
+        return False
+    if config.fault == "comm-delay" and config.ranks < 2:
+        return False
+    if config.combine_algorithm != "gather" and config.ranks < 2:
+        return False
+    if config.residency == "off" and config.engine != "process":
+        return False
+    if smoke and config.ranks > 1 and config.engine == "process":
+        # Process pools per simulated rank are heavyweight; the full
+        # matrix covers this corner, the smoke matrix skips it.
+        return False
+    return True
+
+
+def enumerate_configs(
+    workloads: tuple[str, ...] | None = None,
+    *,
+    smoke: bool = True,
+    seed: int = DEFAULT_SEED,
+) -> list[Config]:
+    names = tuple(workloads) if workloads else workload_names()
+    values = axis_values(smoke)
+    axes = tuple(values)
+    configs = []
+    for name in names:
+        for combo in itertools.product(*(values[a] for a in axes)):
+            cfg = Config(workload=name, seed=seed,
+                         **dict(zip(axes, combo)))
+            if is_valid(cfg, smoke=smoke):
+                configs.append(cfg)
+    return configs
+
+
+def _pair_axes() -> list[tuple[str, str]]:
+    """Axis pairs the covering array must hit.
+
+    Structure × structure pairs are deliberately excluded: they do not
+    test transparency (both sides of the diff share them) and each new
+    structure combination costs an extra oracle run.
+    """
+    axes = ("workload",) + TRANSPARENT_AXES + (
+        "num_threads", "block_size", "vectorized", "ranks",
+    )
+    pairs = []
+    for a, b in itertools.combinations(axes, 2):
+        structural = (a in STRUCTURE_AXES and b in STRUCTURE_AXES)
+        if structural and "workload" not in (a, b):
+            continue
+        pairs.append((a, b))
+    return pairs
+
+
+def pairwise_prune(configs: list[Config]) -> list[Config]:
+    """Greedy pairwise covering: keep a small subset of ``configs`` that
+    still exhibits every achievable (axis=value, axis=value) pair for
+    the tracked axis pairs.  Deterministic: ties break on fingerprint
+    order."""
+    if not configs:
+        return []
+    pair_axes = _pair_axes()
+    ordered = sorted(configs, key=lambda c: c.fingerprint())
+
+    def pairs_of(cfg: Config) -> frozenset:
+        return frozenset(
+            (a, getattr(cfg, a), b, getattr(cfg, b)) for a, b in pair_axes
+        )
+
+    remaining = [(cfg, pairs_of(cfg)) for cfg in ordered]
+    uncovered = set().union(*(p for _, p in remaining))
+    chosen: list[Config] = []
+    while uncovered:
+        best_idx, best_gain = -1, -1
+        for idx, (_, pairs) in enumerate(remaining):
+            gain = len(pairs & uncovered)
+            if gain > best_gain:
+                best_idx, best_gain = idx, gain
+        if best_gain <= 0:
+            break
+        cfg, pairs = remaining.pop(best_idx)
+        chosen.append(cfg)
+        uncovered -= pairs
+    return chosen
+
+
+def build_matrix(
+    workloads: tuple[str, ...] | None = None,
+    *,
+    smoke: bool = True,
+    seed: int = DEFAULT_SEED,
+    max_configs: int | None = None,
+    min_configs: int = 20,
+) -> list[Config]:
+    """The pruned conformance matrix for the given workloads.
+
+    Smoke matrices are padded to ``min_configs`` with per-engine × wire
+    diagonal configs so the acceptance gate (≥ 20 configs, all three
+    engines, both wire formats) holds even if the covering array is
+    smaller.  ``max_configs`` truncates the greedy order, which
+    front-loads coverage diversity.
+    """
+    names = tuple(workloads) if workloads else workload_names()
+    chosen = pairwise_prune(enumerate_configs(names, smoke=smoke, seed=seed))
+    if smoke:
+        seen = set(chosen)
+        values = axis_values(smoke)
+        pads = itertools.product(
+            names, values["engine"], values["wire_format"], (2, 1, 3))
+        for name, engine, wire, threads in pads:
+            if len(chosen) >= min_configs:
+                break
+            cfg = Config(workload=name, engine=engine, wire_format=wire,
+                         num_threads=threads, seed=seed)
+            if is_valid(cfg, smoke=smoke) and cfg not in seen:
+                seen.add(cfg)
+                chosen.append(cfg)
+    if max_configs is not None:
+        chosen = chosen[:max_configs]
+    return chosen

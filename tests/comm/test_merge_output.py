@@ -1,0 +1,103 @@
+"""NaN-aware distributed output assembly (``merge_distributed_output``).
+
+Window analytics with early emission write only the positions their
+rank owned; assembly overlays per-rank partials through the NANOVERLAY
+allreduce.  These tests pin the merge semantics directly: NaN padding
+contributes nothing, all-NaN positions stay NaN, written positions win
+in rank order, and non-float64 arrays survive the trip.
+"""
+
+import numpy as np
+
+from repro.comm import TrafficProfiler, spmd_launch
+from repro.comm.reduce_ops import NANOVERLAY
+from repro.core import merge_distributed_output
+from repro.telemetry import Recorder
+
+
+def _merge(partials, **launch_kwargs):
+    """Run merge_distributed_output across len(partials) simulated ranks."""
+    def body(comm):
+        return merge_distributed_output(comm, partials[comm.rank].copy())
+
+    return spmd_launch(len(partials), body, timeout=30, **launch_kwargs)
+
+
+class TestNanOverlayMerge:
+    def test_disjoint_partials_assemble_everywhere(self):
+        a = np.array([1.0, 2.0, np.nan, np.nan])
+        b = np.array([np.nan, np.nan, 3.0, 4.0])
+        merged = _merge([a, b])
+        expected = np.array([1.0, 2.0, 3.0, 4.0])
+        for rank_view in merged:  # every rank gets the full array
+            assert np.array_equal(rank_view, expected)
+
+    def test_all_nan_positions_stay_nan(self):
+        a = np.array([1.0, np.nan, np.nan])
+        b = np.array([np.nan, 2.0, np.nan])
+        (merged, _) = _merge([a, b])
+        assert merged[0] == 1.0 and merged[1] == 2.0
+        assert np.isnan(merged[2])
+
+    def test_every_rank_all_nan_is_identity(self):
+        partials = [np.full(5, np.nan) for _ in range(3)]
+        for merged in _merge(partials):
+            assert np.isnan(merged).all()
+
+    def test_overlap_resolves_in_rank_order(self):
+        # Later ranks overlay earlier ones — the sequential-overlay
+        # semantics the allgather implementation had.
+        a = np.array([10.0, 1.0])
+        b = np.array([20.0, np.nan])
+        (merged, _) = _merge([a, b])
+        assert merged[0] == 20.0  # rank 1 wins the conflict
+        assert merged[1] == 1.0   # rank 1's NaN does not erase rank 0
+
+    def test_three_rank_chain(self):
+        parts = [
+            np.array([1.0, np.nan, np.nan, 7.0]),
+            np.array([np.nan, 2.0, np.nan, 8.0]),
+            np.array([np.nan, np.nan, 3.0, np.nan]),
+        ]
+        (merged, *_rest) = _merge(parts)
+        assert np.array_equal(merged, [1.0, 2.0, 3.0, 8.0],
+                              equal_nan=False)
+
+    def test_float32_partials_supported(self):
+        a = np.array([1.0, np.nan], dtype=np.float32)
+        b = np.array([np.nan, 2.0], dtype=np.float32)
+        (merged, _) = _merge([a, b])
+        assert merged.dtype == np.float32
+        assert np.array_equal(merged, np.array([1.0, 2.0], np.float32))
+
+    def test_single_rank_is_passthrough(self):
+        out = np.array([1.0, np.nan])
+        (merged,) = _merge([out])
+        assert np.array_equal(merged, out, equal_nan=True)
+
+    def test_nanoverlay_op_is_associative_on_overlay_chains(self):
+        x = np.array([1.0, np.nan, np.nan])
+        y = np.array([np.nan, 2.0, np.nan])
+        z = np.array([np.nan, np.nan, 3.0])
+        left = NANOVERLAY.combine(NANOVERLAY.combine(x.copy(), y), z)
+        right = NANOVERLAY.combine(x.copy(), NANOVERLAY.combine(y.copy(), z))
+        assert np.array_equal(left, right)
+
+
+class TestMergeAccounting:
+    def test_modeled_savings_recorded_for_three_ranks(self):
+        profiler = TrafficProfiler(Recorder())
+        partials = [np.full(8, np.nan) for _ in range(3)]
+        partials[0][:] = 1.0
+        _merge(partials, profiler=profiler)
+        snapshot = profiler.snapshot()
+        calls, nbytes = snapshot["merge_output_saved"]
+        # saved = (size - 2) * nbytes per rank, recorded once per rank.
+        assert calls == 3
+        assert nbytes == 3 * (3 - 2) * 8 * 8
+
+    def test_no_savings_recorded_for_two_ranks(self):
+        profiler = TrafficProfiler(Recorder())
+        _merge([np.array([1.0, np.nan]), np.array([np.nan, 2.0])],
+               profiler=profiler)
+        assert "merge_output_saved" not in profiler.snapshot()

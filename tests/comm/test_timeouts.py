@@ -4,6 +4,15 @@ import pytest
 
 from repro.comm import SpmdError, spmd_launch
 
+# Time a deliberately wedged collective waits before the watchdog fires.
+# Generous relative to any scheduler hiccup: these tests assert *that*
+# the job aborts, not how quickly, so a loaded CI box cannot flake them.
+STALL_TIMEOUT = 2.0
+
+# Budget for jobs that should complete nearly instantly; an order of
+# magnitude of headroom over the slowest observed run.
+FAST_JOB_TIMEOUT = 30.0
+
 
 class TestCollectiveTimeout:
     def test_missing_participant_aborts_job(self):
@@ -16,7 +25,7 @@ class TestCollectiveTimeout:
             comm.barrier()
 
         with pytest.raises(SpmdError):
-            spmd_launch(2, body, timeout=0.3)
+            spmd_launch(2, body, timeout=STALL_TIMEOUT)
 
     def test_recv_without_sender_aborts(self):
         def body(comm):
@@ -25,7 +34,7 @@ class TestCollectiveTimeout:
             return None
 
         with pytest.raises(SpmdError):
-            spmd_launch(2, body, timeout=0.3)
+            spmd_launch(2, body, timeout=STALL_TIMEOUT)
 
     def test_timeout_error_is_descriptive(self):
         def body(comm):
@@ -34,9 +43,9 @@ class TestCollectiveTimeout:
             # rank 1 exits immediately
 
         with pytest.raises(SpmdError) as exc_info:
-            spmd_launch(2, body, timeout=0.3)
+            spmd_launch(2, body, timeout=STALL_TIMEOUT)
         assert "timed out" in str(exc_info.value) or "aborted" in str(exc_info.value)
 
     def test_fast_jobs_unaffected_by_short_timeout(self):
-        results = spmd_launch(3, lambda c: c.allreduce(1), timeout=5)
+        results = spmd_launch(3, lambda c: c.allreduce(1), timeout=FAST_JOB_TIMEOUT)
         assert results == [3, 3, 3]

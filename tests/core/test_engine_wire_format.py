@@ -11,18 +11,9 @@ seeded iterative runs.
 import numpy as np
 import pytest
 
-from repro.analytics import (
-    Histogram,
-    KMeans,
-    LogisticRegression,
-    MovingAverage,
-    MovingMedian,
-    make_blobs,
-    make_logreg_samples,
-)
+from repro.analytics import Histogram
 from repro.core import SchedArgs
-
-ENGINES = ("serial", "thread", "process")
+from tests.workloads import ENGINES, assert_conforms
 
 
 @pytest.fixture(scope="module")
@@ -35,84 +26,35 @@ def _counts(app):
 
 
 class TestColumnarEquivalenceMatrix:
-    """Ground truth is the serial engine on the pickle wire format."""
+    """Ground truth is the serial engine on the pickle wire format.
+
+    Thin wrappers over the ``repro.verify`` conformance kit: the oracle
+    of each config resets the wire format to pickle, so a single
+    ``assert_conforms`` call checks columnar transparency.
+    """
 
     @pytest.mark.parametrize("engine", ENGINES)
-    def test_histogram(self, scalars, engine):
-        def run(name, wire_format):
-            app = Histogram(
-                SchedArgs(
-                    num_threads=3, engine=name,
-                    vectorized=True, wire_format=wire_format,
-                ),
-                lo=-4, hi=4, num_buckets=32,
-            )
-            app.run(scalars)
-            counts = _counts(app)
-            app.close()
-            return counts
-
-        assert run(engine, "columnar") == run("serial", "pickle")
+    def test_histogram(self, engine):
+        assert_conforms("histogram", engine=engine, wire_format="columnar",
+                        vectorized=True, num_threads=3)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_kmeans_seeded_iterative(self, engine):
-        flat, _ = make_blobs(800, 4, 6, seed=3)
-        init = flat.reshape(-1, 4)[:6].copy()
-
-        def run(name, wire_format):
-            app = KMeans(
-                SchedArgs(
-                    chunk_size=4, num_iters=5, extra_data=init, num_threads=2,
-                    engine=name, vectorized=True, wire_format=wire_format,
-                ),
-                dims=4,
-            )
-            app.run(flat)
-            centroids = app.centroids()
-            app.close()
-            return centroids
-
-        assert np.array_equal(run(engine, "columnar"), run("serial", "pickle"))
+        assert_conforms("kmeans", engine=engine, wire_format="columnar",
+                        vectorized=True, num_threads=2)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_logistic_regression_iterative(self, engine):
-        flat, _ = make_logreg_samples(300, 7, seed=5)
-
-        def run(name, wire_format):
-            app = LogisticRegression(
-                SchedArgs(chunk_size=8, num_iters=3, num_threads=2,
-                          engine=name, vectorized=True, wire_format=wire_format),
-                dims=7,
-            )
-            app.run(flat)
-            weights = app.weights.copy()
-            app.close()
-            return weights
-
-        assert np.array_equal(run(engine, "columnar"), run("serial", "pickle"))
+        assert_conforms("logreg", engine=engine, wire_format="columnar",
+                        vectorized=True, num_threads=2)
 
     @pytest.mark.parametrize("engine", ENGINES)
-    @pytest.mark.parametrize("app_cls", [MovingAverage, MovingMedian])
-    def test_window_run2_early_emission(self, scalars, engine, app_cls):
+    @pytest.mark.parametrize("workload", ["moving_average", "moving_median"])
+    def test_window_run2_early_emission(self, engine, workload):
         """MovingAverage packs columnar; MovingMedian's HoldAllObj is
         schemaless and must ride the pickle fallback transparently."""
-        data = scalars[:600]
-
-        def run(name, wire_format):
-            app = app_cls(
-                SchedArgs(num_threads=3, engine=name, wire_format=wire_format),
-                win_size=7,
-            )
-            out = np.full(len(data), np.nan)
-            app.run2(data, out)
-            emissions = app.stats.early_emissions
-            app.close()
-            return out, emissions
-
-        ref_out, ref_emissions = run("serial", "pickle")
-        out, emissions = run(engine, "columnar")
-        assert np.array_equal(out, ref_out, equal_nan=True)
-        assert emissions == ref_emissions
+        assert_conforms(workload, engine=engine, wire_format="columnar",
+                        num_threads=3)
 
 
 class TestProcessEngineWireAccounting:

@@ -4,34 +4,19 @@ Every backend (serial / thread / process) must produce bit-identical
 combination maps, outputs, and consistent run statistics for every
 bundled analytics — including the early-emission (``run2`` window) and
 ``seed_reduction_maps`` (iterative) paths, scalar and vectorized alike.
+
+The equivalence matrix is a thin wrapper over the ``repro.verify``
+conformance kit (shared via ``tests/workloads.py``): each test names a
+canonical workload and the transparent axes under test; the kit runs
+candidate and oracle and produces structured mismatch reports.
 """
 
 import numpy as np
 import pytest
 
-from repro.analytics import (
-    CountObj,
-    Histogram,
-    KMeans,
-    LogisticRegression,
-    MovingAverage,
-    MovingMedian,
-    make_blobs,
-    make_logreg_samples,
-)
+from repro.analytics import CountObj, Histogram
 from repro.core import SchedArgs, Scheduler, SerialEngine, ThreadEngine, create_engine
-
-ENGINES = ("serial", "thread", "process")
-
-STAT_NAMES = ("chunks_processed", "accumulate_calls", "early_emissions", "runs")
-
-
-def _stats_tuple(app):
-    return tuple(getattr(app.stats, name) for name in STAT_NAMES)
-
-
-def _map_items(app):
-    return app.get_combination_map().sorted_items()
+from tests.workloads import ENGINES, assert_conforms
 
 
 @pytest.fixture(scope="module")
@@ -44,98 +29,31 @@ class TestEquivalenceMatrix:
 
     @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("vectorized", [False, True], ids=["scalar", "vector"])
-    def test_histogram(self, scalars, engine, vectorized):
-        def run(name):
-            app = Histogram(
-                SchedArgs(num_threads=3, engine=name, vectorized=vectorized),
-                lo=-4, hi=4, num_buckets=32,
-            )
-            app.run(scalars)
-            counts = {k: v.count for k, v in _map_items(app)}
-            stats = _stats_tuple(app)
-            app.close()
-            return counts, stats
-
-        ref_counts, ref_stats = run("serial")
-        counts, stats = run(engine)
-        assert counts == ref_counts
-        assert stats == ref_stats
+    def test_histogram(self, engine, vectorized):
+        assert_conforms("histogram", engine=engine, vectorized=vectorized,
+                        num_threads=3)
 
     @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("vectorized", [False, True], ids=["scalar", "vector"])
     def test_kmeans_seeded_iterative(self, engine, vectorized):
-        flat, _ = make_blobs(800, 4, 6, seed=3)
-        init = flat.reshape(-1, 4)[:6].copy()
-
-        def run(name):
-            app = KMeans(
-                SchedArgs(
-                    chunk_size=4, num_iters=5, extra_data=init,
-                    num_threads=2, engine=name, vectorized=vectorized,
-                ),
-                dims=4,
-            )
-            app.run(flat)
-            centroids = app.centroids()
-            stats = _stats_tuple(app)
-            app.close()
-            return centroids, stats
-
-        ref_centroids, ref_stats = run("serial")
-        centroids, stats = run(engine)
-        assert np.array_equal(centroids, ref_centroids)  # bit-identical
-        assert stats == ref_stats
+        assert_conforms("kmeans", engine=engine, vectorized=vectorized,
+                        num_threads=2)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_logistic_regression_iterative(self, engine):
-        flat, _ = make_logreg_samples(300, 7, seed=5)
-
-        def run(name):
-            app = LogisticRegression(
-                SchedArgs(chunk_size=8, num_iters=3, num_threads=2,
-                          engine=name, vectorized=True),
-                dims=7,
-            )
-            app.run(flat)
-            weights = app.weights.copy()
-            app.close()
-            return weights
-
-        assert np.array_equal(run(engine), run("serial"))
+        assert_conforms("logreg", engine=engine, vectorized=True,
+                        num_threads=2)
 
     @pytest.mark.parametrize("engine", ENGINES)
-    @pytest.mark.parametrize("app_cls", [MovingAverage, MovingMedian])
-    def test_window_run2_early_emission(self, scalars, engine, app_cls):
-        data = scalars[:600]
-
-        def run(name):
-            app = app_cls(SchedArgs(num_threads=3, engine=name), win_size=7)
-            out = np.full(len(data), np.nan)
-            app.run2(data, out)
-            stats = _stats_tuple(app)
-            app.close()
-            return out, stats
-
-        ref_out, ref_stats = run("serial")
-        out, stats = run(engine)
-        assert np.array_equal(out, ref_out, equal_nan=True)
-        assert stats == ref_stats
-        assert not np.isnan(out[3:-3]).any()
+    @pytest.mark.parametrize("workload", ["moving_average", "moving_median"])
+    def test_window_run2_early_emission(self, engine, workload):
+        assert_conforms(workload, engine=engine, num_threads=3)
 
     @pytest.mark.parametrize("engine", ENGINES)
-    def test_blocked_streaming(self, scalars, engine):
+    def test_blocked_streaming(self, engine):
         """block_size interacts with per-block dispatch in every engine."""
-        app = Histogram(
-            SchedArgs(num_threads=2, engine=engine, block_size=500),
-            lo=-4, hi=4, num_buckets=16,
-        )
-        app.run(scalars)
-        ref = Histogram(SchedArgs(), lo=-4, hi=4, num_buckets=16)
-        ref.run(scalars)
-        assert {k: v.count for k, v in _map_items(app)} == {
-            k: v.count for k, v in _map_items(ref)
-        }
-        app.close()
+        assert_conforms("histogram", engine=engine, num_threads=2,
+                        block_size=500)
 
 
 class TestEngineLifecycle:

@@ -23,6 +23,12 @@ ENGINES = ("serial", "thread", "process")
 STEPS = 4
 ELEMENTS = 900
 
+# Slack for wall-clock timing identities.  Per-phase timestamps are
+# taken with separate clock reads, so sums can disagree by scheduler
+# jitter; 50 ms is far above any observed skew while still catching
+# genuinely broken accounting (overlap exceeding a whole phase).
+TIMING_SLACK_SECONDS = 0.05
+
 
 def counts_of(app):
     return {k: v.count for k, v in app.get_combination_map().sorted_items()}
@@ -89,10 +95,13 @@ class TestTimingSemantics:
         )
         for step in result.steps:
             assert step.overlap_seconds >= 0.0
-            assert step.overlap_seconds <= step.simulate + 1e-9
-            assert step.total <= step.simulate + step.analyze + 1e-9
+            assert step.overlap_seconds <= step.simulate + TIMING_SLACK_SECONDS
+            assert step.total <= (
+                step.simulate + step.analyze + TIMING_SLACK_SECONDS
+            )
         assert result.total_seconds <= (
-            result.simulate_seconds + result.analyze_seconds + 1e-9
+            result.simulate_seconds + result.analyze_seconds
+            + TIMING_SLACK_SECONDS
         )
         assert result.overlap_seconds == pytest.approx(
             sum(s.overlap_seconds for s in result.steps)

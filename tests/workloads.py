@@ -1,0 +1,55 @@
+"""Shared workload fixtures for engine/wire equivalence tests.
+
+Thin wrappers over the :mod:`repro.verify` conformance kit — the single
+source of canonical per-analytic workloads, oracle execution, and
+structured diffing.  Test modules that used to carry their own workload
+builders (``tests/core/test_engines.py``,
+``tests/core/test_engine_wire_format.py``) and the conformance suite in
+``tests/verify`` all go through here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verify import (
+    Config,
+    diff_results,
+    execute,
+    get_workload,
+    workload_names,
+)
+
+ENGINES = ("serial", "thread", "process")
+
+__all__ = [
+    "ENGINES",
+    "assert_conforms",
+    "mismatch_report",
+    "run_workload",
+    "workload_names",
+]
+
+
+def run_workload(name: str, *, data: np.ndarray | None = None,
+                 **axes) -> dict[str, np.ndarray]:
+    """Execute one workload under the given config axes; return the
+    extracted comparison arrays."""
+    config = Config(workload=name, **axes)
+    return execute(get_workload(name), config, data=data).result
+
+
+def mismatch_report(name: str, **axes):
+    """Candidate-vs-oracle mismatches for one config (empty = conforms)."""
+    config = Config(workload=name, **axes)
+    workload = get_workload(name)
+    oracle = execute(workload, config.oracle_of())
+    candidate = execute(workload, config)
+    return diff_results(name, config, oracle.result, candidate.result)
+
+
+def assert_conforms(name: str, **axes) -> None:
+    """Assert a config is bit-equivalent to its serial/pickle oracle,
+    failing with the kit's structured mismatch report."""
+    mismatches = mismatch_report(name, **axes)
+    assert not mismatches, "\n".join(m.describe() for m in mismatches)
