@@ -1,0 +1,131 @@
+"""Benchmark regression gate: current BENCH_*.json vs committed baselines.
+
+The repository commits benchmark result files (``BENCH_*.json`` at the
+repo root) and reference copies under ``benchmarks/baselines/``.  This
+gate compares the *ratio* metrics — machine-relative numbers (speedups,
+reduction factors, match fractions) that are stable across hosts, unlike
+raw seconds — and fails when any hot-path metric regresses by more than
+the threshold (default 25%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_diff.py            # gate
+    PYTHONPATH=src python benchmarks/bench_diff.py --update   # rebless
+
+``--update`` copies the current result files over the baselines (after a
+deliberate, reviewed performance change).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+BASELINE_DIR = ROOT / "benchmarks" / "baselines"
+
+#: Higher-is-better ratio metrics gated per result file (dotted paths).
+METRICS: dict[str, tuple[str, ...]] = {
+    "BENCH_serialization.json": (
+        "serialize_merge.columnar_speedup",
+    ),
+    "BENCH_pipeline.json": (
+        "dispatch.reduction_x",
+        "pipeline.speedup_x",
+    ),
+    "BENCH_autotune.json": (
+        "summary.matched_fraction",
+    ),
+}
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def lookup(doc: dict, dotted: str) -> float:
+    node = doc
+    for part in dotted.split("."):
+        node = node[part]
+    return float(node)
+
+
+def compare_file(name: str, threshold: float) -> list[dict]:
+    """Per-metric comparison records for one result file."""
+    current_path = ROOT / name
+    baseline_path = BASELINE_DIR / name
+    if not current_path.exists():
+        return [{"file": name, "metric": "-", "status": "missing-current"}]
+    if not baseline_path.exists():
+        return [{"file": name, "metric": "-", "status": "missing-baseline"}]
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    records = []
+    for metric in METRICS[name]:
+        base = lookup(baseline, metric)
+        cur = lookup(current, metric)
+        ratio = cur / base if base else float("inf")
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        records.append({
+            "file": name, "metric": metric, "baseline": base,
+            "current": cur, "ratio": ratio, "status": status,
+        })
+    return records
+
+
+def update_baselines() -> int:
+    BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+    for name in METRICS:
+        src = ROOT / name
+        if src.exists():
+            shutil.copyfile(src, BASELINE_DIR / name)
+            print(f"blessed {name}")
+        else:
+            print(f"skipped {name} (no current result)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_diff.py",
+        description="fail on >threshold regression of committed benchmark "
+                    "ratio metrics vs benchmarks/baselines/")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional drop (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current results over the baselines")
+    parser.add_argument("--strict", action="store_true",
+                        help="missing files fail the gate instead of warning")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        return update_baselines()
+
+    records = []
+    for name in METRICS:
+        records.extend(compare_file(name, args.threshold))
+
+    width = max(len(r["metric"]) for r in records)
+    failed = False
+    for r in records:
+        if r["status"].startswith("missing"):
+            print(f"{r['file']:28s} {'-':{width}s}  {r['status']}")
+            failed = failed or args.strict
+            continue
+        print(f"{r['file']:28s} {r['metric']:{width}s}  "
+              f"baseline {r['baseline']:9.3f}  current {r['current']:9.3f}  "
+              f"ratio {r['ratio']:5.2f}  {r['status']}")
+        failed = failed or r["status"] == "REGRESSION"
+
+    if failed:
+        print(f"\nFAIL: metric dropped more than {args.threshold:.0%} below "
+              "baseline (or --strict file missing); if intentional, rebless "
+              "with --update")
+        return 1
+    print("\nall gated metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

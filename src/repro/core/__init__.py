@@ -27,6 +27,14 @@ from .in_transit import InTransitDriver, Placement, split_staging_comm
 from .circular_buffer import BufferClosed, CircularBuffer
 from .maps import KeyedMap
 from .pipeline import PipelineStage, SmartPipeline
+from .policy import (
+    COMBINE_ALGORITHMS,
+    ENGINE_BACKENDS,
+    RESIDENCY_MODES,
+    CombinePolicy,
+    EnginePolicy,
+    ExecutionPolicy,
+)
 from .red_obj import Field, RedObj, ensure_red_obj
 from .sched_args import SchedArgs
 from .scheduler import RunStats, Scheduler, merge_distributed_output
@@ -47,6 +55,11 @@ from .time_sharing import (
     TimeSharingResult,
 )
 
+# Imported last: autotune reaches into repro.perfmodel, whose package
+# init imports analytics (and, through it, names bound above in this
+# partially initialized package).
+from .autotune import CombineSwitch, PolicyAdvisor  # noqa: E402
+
 __all__ = [
     "BufferClosed",
     "CheckpointError",
@@ -54,10 +67,18 @@ __all__ = [
     "save_checkpoint",
     "Chunk",
     "CircularBuffer",
+    "CombinePolicy",
+    "CombineSwitch",
+    "COMBINE_ALGORITHMS",
     "CoreSplit",
+    "ENGINE_BACKENDS",
+    "EnginePolicy",
     "ExecutionEngine",
+    "ExecutionPolicy",
     "Field",
     "KeyedMap",
+    "PolicyAdvisor",
+    "RESIDENCY_MODES",
     "PackedMap",
     "WIRE_FORMATS",
     "WIRE_VERSION",

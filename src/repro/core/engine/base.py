@@ -154,12 +154,30 @@ class ExecutionEngine(ABC):
         return f"{type(self).__name__}(workers={self.num_workers})"
 
 
-def create_engine(name: str, num_workers: int, telemetry: "Recorder") -> ExecutionEngine:
-    """Instantiate the engine backend registered under ``name``."""
+def create_engine(
+    spec, num_workers: int | None = None, telemetry: "Recorder | None" = None
+) -> ExecutionEngine:
+    """Instantiate an execution engine.
+
+    ``spec`` is an :class:`~repro.core.policy.EnginePolicy` (preferred —
+    carries the backend name and worker count together) or a bare
+    backend name string.  ``num_workers`` overrides the policy's worker
+    count; with a string spec it defaults to 1.
+    """
     from .process import ProcessEngine
     from .serial import SerialEngine
     from .thread import ThreadEngine
 
+    if isinstance(spec, str):
+        name = spec
+        workers = 1 if num_workers is None else num_workers
+    else:
+        name = spec.backend
+        workers = spec.num_threads if num_workers is None else num_workers
+    if telemetry is None:
+        from ...telemetry import Recorder
+
+        telemetry = Recorder()
     engines = {"serial": SerialEngine, "thread": ThreadEngine, "process": ProcessEngine}
     try:
         cls = engines[name]
@@ -167,4 +185,4 @@ def create_engine(name: str, num_workers: int, telemetry: "Recorder") -> Executi
         raise ValueError(
             f"unknown engine {name!r}; choose from {sorted(engines)}"
         ) from None
-    return cls(num_workers, telemetry)
+    return cls(workers, telemetry)

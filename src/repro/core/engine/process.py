@@ -284,7 +284,7 @@ def _run_split_task(task: tuple) -> tuple:
         if wants_emitted and emitted_objs
         else b""
     )
-    map_payload = serialize_map(red_map, sched.args.wire_format)
+    map_payload = serialize_map(red_map, sched.policy.wire_format)
     _beat()
     return (
         _export_payload(map_payload),
@@ -410,7 +410,7 @@ class ProcessEngine(ExecutionEngine):
         super().begin_run(scheduler, data, out, multi_key)
         self._fault_plan = getattr(scheduler, "fault_plan", None)
         self._delta = None
-        self._resident_enabled = scheduler.args.residency != "off"
+        self._resident_enabled = scheduler.policy.residency != "off"
         nbytes = int(data.nbytes)
         data_version = getattr(scheduler, "_data_version", 0)
         with self._segments_lock:
@@ -810,7 +810,7 @@ class ProcessEngine(ExecutionEngine):
         if self._delta is None:
             sched = self._sched
             assert sched is not None
-            com_map_bytes = serialize_map(sched.combination_map_, sched.args.wire_format)
+            com_map_bytes = serialize_map(sched.combination_map_, sched.policy.wire_format)
             self._delta = pickle.dumps(
                 (
                     sched.global_offset_,
@@ -836,9 +836,9 @@ class ProcessEngine(ExecutionEngine):
         wants_emitted = self._out is not None
         sched = self._sched
         assert sched is not None
-        wire_format = sched.args.wire_format
+        wire_format = sched.policy.wire_format
         plan = self._fault_plan
-        policy = sched.args.resolved_fault_policy
+        policy = sched.policy.resolved_fault_policy
         tasks = []
         for split in splits:
             map_payload = serialize_map(red_maps[split.thread_id], wire_format)

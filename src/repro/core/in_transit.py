@@ -158,7 +158,7 @@ class InTransitDriver:
                 runner(partition)
                 payload = serialize_map(
                     local_scheduler.get_combination_map(),
-                    local_scheduler.args.wire_format,
+                    local_scheduler.policy.wire_format,
                 )
                 local_scheduler.reset()
                 shipped += len(payload)
@@ -210,8 +210,7 @@ class InTransitDriver:
 
         scheduler.combination_map_ = global_combine(
             scheduler.comm, scheduler.combination_map_, scheduler.merge,
-            algorithm=scheduler.args.combine_algorithm,
-            wire_format=scheduler.args.wire_format,
+            combine=scheduler.policy.combine,
         )
         scheduler.post_combine(scheduler.combination_map_)
         return scheduler.combination_map_

@@ -4,18 +4,35 @@
 int num_iters)`` from the C++ API, extended with the knobs this
 reproduction adds (block streaming, real threading, vectorized fast path,
 space-sharing buffer capacity, and the Fig-9 extra-copy toggle).
+
+.. deprecated::
+    ``SchedArgs`` is now a thin facade over the layered
+    :class:`~repro.core.policy.ExecutionPolicy`: construction lowers the
+    flat knobs onto per-concern policies (:meth:`SchedArgs.to_policy`),
+    which own all validation, fingerprints, and defaults.  Every
+    existing ``SchedArgs(...)`` spelling keeps working and produces a
+    bit-identical run; new code should construct policies directly (see
+    the migration table in docs/API.md).  A single
+    ``PendingDeprecationWarning`` per process marks the facade.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any
 
 from ..faults import FaultPolicy
+from .policy import (
+    ENGINE_BACKENDS,
+    CombinePolicy,
+    EnginePolicy,
+    ExecutionPolicy,
+    warn_once,
+)
 
-#: Engine backends accepted by :attr:`SchedArgs.engine`.
-ENGINE_NAMES = ("serial", "thread", "process")
+#: Engine backends accepted by :attr:`SchedArgs.engine` (the policy
+#: layer's :data:`~repro.core.policy.ENGINE_BACKENDS`).
+ENGINE_NAMES = ENGINE_BACKENDS
 
 
 @dataclass
@@ -122,50 +139,70 @@ class SchedArgs:
     fault_policy: str | FaultPolicy = "fail_fast"
 
     def __post_init__(self) -> None:
-        if self.num_threads < 1:
-            raise ValueError(f"num_threads must be >= 1, got {self.num_threads}")
-        if self.chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
-        if self.num_iters < 1:
-            raise ValueError(f"num_iters must be >= 1, got {self.num_iters}")
-        if self.block_size is not None and self.block_size < 1:
-            raise ValueError(f"block_size must be >= 1 or None, got {self.block_size}")
-        if self.buffer_capacity < 1:
-            raise ValueError(f"buffer_capacity must be >= 1, got {self.buffer_capacity}")
-        if self.combine_algorithm not in ("gather", "tree", "allreduce"):
-            raise ValueError(
-                f"combine_algorithm must be 'gather', 'tree', or 'allreduce', "
-                f"got {self.combine_algorithm!r}"
-            )
-        if self.wire_format not in ("pickle", "columnar"):
-            raise ValueError(
-                f"wire_format must be 'pickle' or 'columnar', "
-                f"got {self.wire_format!r}"
-            )
-        if self.residency not in ("auto", "off"):
-            raise ValueError(
-                f"residency must be 'auto' or 'off', got {self.residency!r}"
-            )
-        FaultPolicy.parse(self.fault_policy)  # raises on unknown mode
+        # The one check the policy layer cannot express: the facade's
+        # nullable engine field (None = "derive from use_threads").
         if self.engine is not None and self.engine not in ENGINE_NAMES:
             raise ValueError(
                 f"engine must be one of {ENGINE_NAMES} or None, got {self.engine!r}"
             )
         if self.use_threads:
-            warnings.warn(
+            warn_once(
+                "sched_args.use_threads",
                 "SchedArgs(use_threads=True) is deprecated; pass engine='thread'",
                 DeprecationWarning,
                 stacklevel=3,
             )
+        warn_once(
+            "sched_args.facade",
+            "SchedArgs is a facade over repro.core.policy.ExecutionPolicy; "
+            "prefer constructing policies directly (see docs/API.md)",
+            PendingDeprecationWarning,
+            stacklevel=3,
+        )
+        # Lowering validates every knob exactly once, in the policy layer
+        # — the single home of the runtime's validity rules.
+        self._policy = self.to_policy()
+
+    def to_policy(self) -> ExecutionPolicy:
+        """Lower the flat knobs onto the layered policy object."""
+        backend = (
+            self.engine
+            if self.engine is not None
+            else ("thread" if self.use_threads else "serial")
+        )
+        return ExecutionPolicy(
+            engine=EnginePolicy(
+                backend=backend,
+                num_threads=self.num_threads,
+                residency=self.residency,
+            ),
+            combine=CombinePolicy(
+                algorithm=self.combine_algorithm,
+                wire_format=self.wire_format,
+            ),
+            fault=FaultPolicy.parse(self.fault_policy),
+            chunk_size=self.chunk_size,
+            num_iters=self.num_iters,
+            block_size=self.block_size,
+            extra_data=self.extra_data,
+            vectorized=self.vectorized,
+            buffer_capacity=self.buffer_capacity,
+            copy_input=self.copy_input,
+            disable_early_emission=self.disable_early_emission,
+        )
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The :class:`~repro.core.policy.ExecutionPolicy` this facade
+        lowered to at construction."""
+        return self._policy
 
     @property
     def resolved_engine(self) -> str:
         """The effective backend name (``engine`` or the legacy alias)."""
-        if self.engine is not None:
-            return self.engine
-        return "thread" if self.use_threads else "serial"
+        return self._policy.resolved_engine
 
     @property
     def resolved_fault_policy(self) -> FaultPolicy:
         """The effective :class:`~repro.faults.FaultPolicy` object."""
-        return FaultPolicy.parse(self.fault_policy)
+        return self._policy.resolved_fault_policy

@@ -47,6 +47,7 @@ from .chunk import Chunk, Split, iter_blocks, make_splits
 from .circular_buffer import CircularBuffer
 from .engine import ExecutionEngine, create_engine
 from .maps import KeyedMap
+from .policy import ExecutionPolicy
 from .red_obj import RedObj, ensure_red_obj
 from .sched_args import SchedArgs
 from .serialization import global_combine
@@ -119,6 +120,8 @@ class RunStats:
 _ENGINE_LOCAL_ATTRS = frozenset(
     {
         "args",
+        "policy",
+        "policy_adaptor",
         "comm",
         "combination_map_",
         "telemetry",
@@ -141,7 +144,12 @@ class Scheduler:
     Parameters
     ----------
     args:
-        Scheduler arguments (threads, chunk size, extra data, iterations).
+        Runtime configuration: an
+        :class:`~repro.core.policy.ExecutionPolicy` (preferred) or the
+        deprecated flat :class:`~repro.core.sched_args.SchedArgs`
+        facade, which lowers onto one.  Either way the scheduler runs
+        off :attr:`policy`; the :attr:`args` property remains as a flat
+        compatibility view.
     comm:
         Communicator for global combination.  Defaults to a single-rank
         :class:`~repro.comm.local.LocalComm`; in-situ SPMD programs pass
@@ -159,8 +167,19 @@ class Scheduler:
 
     seed_reduction_maps: bool = False
 
-    def __init__(self, args: SchedArgs, comm: Communicator | None = None):
-        self.args = args
+    def __init__(
+        self,
+        args: SchedArgs | ExecutionPolicy,
+        comm: Communicator | None = None,
+    ):
+        #: The layered runtime configuration this scheduler executes.
+        #: Immutable; replaced wholesale by a mid-run ``policy_adaptor``.
+        self.policy: ExecutionPolicy = ExecutionPolicy.coerce(args)
+        #: Optional mid-run adaptation hook (e.g.
+        #: :class:`~repro.core.autotune.CombineSwitch`).  Called as
+        #: ``observe(scheduler, iteration)`` after ``post_combine`` of
+        #: every iteration; may replace :attr:`policy`.
+        self.policy_adaptor = None
         self.comm: Communicator = comm if comm is not None else LocalComm()
         self.combination_map_ = KeyedMap()
         self.telemetry = Recorder()
@@ -183,6 +202,17 @@ class Scheduler:
         self.out_: np.ndarray | None = None
         self.global_offset_: int = 0
         self.total_len_: int = 0
+
+    @property
+    def args(self) -> ExecutionPolicy:
+        """Compatibility view of :attr:`policy`.
+
+        The policy exposes every flat ``SchedArgs`` attribute name
+        (``num_threads``, ``wire_format``, ``resolved_engine``, ...), so
+        code written against ``scheduler.args`` keeps reading the live
+        configuration unchanged.
+        """
+        return self.policy
 
     # ------------------------------------------------------------------
     # API implemented by the user (paper Table 1, lower half)
@@ -411,14 +441,15 @@ class Scheduler:
     def engine(self) -> ExecutionEngine:
         """The intra-rank execution engine (created lazily, started once).
 
-        The backend is chosen by ``SchedArgs.engine`` at first use and
-        lives for the scheduler's lifetime — pooled engines create
-        exactly one worker pool (telemetry counter
-        ``engine.pools_created``).  Call :meth:`close` to release it.
+        The backend is chosen by the policy's
+        :class:`~repro.core.policy.EnginePolicy` at first use and lives
+        for the scheduler's lifetime — pooled engines create exactly one
+        worker pool (telemetry counter ``engine.pools_created``).  Call
+        :meth:`close` to release it.
         """
         if self._engine is None:
             self._engine = create_engine(
-                self.args.resolved_engine, self.args.num_threads, self.telemetry
+                self.policy.engine, telemetry=self.telemetry
             )
             self._engine.start()
         return self._engine
@@ -427,7 +458,7 @@ class Scheduler:
         """Shut down the execution engine (worker pools).  Idempotent.
 
         A closed scheduler may run again: the next run recreates the
-        engine (and its pool) from ``SchedArgs``.
+        engine (and its pool) from the policy.
         """
         if self._engine is not None:
             self._engine.shutdown()
@@ -449,8 +480,10 @@ class Scheduler:
         """
         snap = self.telemetry.snapshot()
         snap["engine"] = (
-            self._engine.name if self._engine is not None else self.args.resolved_engine
+            self._engine.name if self._engine is not None
+            else self.policy.engine.backend
         )
+        snap["policy"] = self.policy.fingerprint()
         snap["counters"]["run.state_nbytes"] = self.combination_map_.state_nbytes()
         snap["counters"]["run.state_objects"] = len(self.combination_map_)
         profiler = getattr(self.comm, "profiler", None)
@@ -464,7 +497,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _feed_buffer(self) -> CircularBuffer:
         if self._fed is None:
-            self._fed = CircularBuffer(self.args.buffer_capacity)
+            self._fed = CircularBuffer(self.policy.buffer_capacity)
         return self._fed
 
     def _resolve_layout(
@@ -502,7 +535,7 @@ class Scheduler:
         arr = np.asarray(data)
         if arr.ndim != 1:
             arr = arr.reshape(-1)
-        if self.args.copy_input:
+        if self.policy.copy_input:
             # Fig. 9 comparison point: an implementation involving an
             # extra copy of the simulation output.
             arr = arr.copy()
@@ -514,8 +547,8 @@ class Scheduler:
         self.total_len_ = total
         self.stats.runs += 1
 
-        args = self.args
-        self.process_extra_data(args.extra_data, self.combination_map_)
+        policy = self.policy
+        self.process_extra_data(policy.extra_data, self.combination_map_)
 
         engine = self.engine
         engine.begin_run(self, arr, out, multi_key)
@@ -523,9 +556,9 @@ class Scheduler:
         # rebuilt by a later one, and only the *final* iteration decides
         # whether the convert sweep below must still write it.
         emitted: set[int] = set()
-        policy = args.resolved_fault_policy
+        fault_policy = policy.resolved_fault_policy
         try:
-            for iteration in range(args.num_iters):
+            for iteration in range(policy.num_iters):
                 self.telemetry.inc("run.iterations_run")
                 # Replay loop: a worker lost mid-iteration surfaces as
                 # EngineFaultError *after* the supervisor respawned the
@@ -538,9 +571,9 @@ class Scheduler:
                     emitted = set()
                     red_maps = self._make_reduction_maps()
                     try:
-                        for bstart, bstop in iter_blocks(n, args.block_size):
+                        for bstart, bstop in iter_blocks(n, policy.block_size):
                             splits = make_splits(
-                                bstart, bstop, args.num_threads, args.chunk_size
+                                bstart, bstop, policy.num_threads, policy.chunk_size
                             )
                             emitted.update(engine.map_splits(splits, red_maps))
                             self.stats.observe_objects(
@@ -549,10 +582,13 @@ class Scheduler:
                             )
                     except EngineFaultError:
                         self.telemetry.inc("faults.engine_failures")
-                        if policy.mode != "retry" or attempt >= policy.max_attempts:
+                        if (
+                            fault_policy.mode != "retry"
+                            or attempt >= fault_policy.max_attempts
+                        ):
                             raise
                         self.telemetry.inc("faults.replays")
-                        time.sleep(policy.backoff_for(attempt))
+                        time.sleep(fault_policy.backoff_for(attempt))
                         attempt += 1
                         continue
                     break
@@ -563,15 +599,22 @@ class Scheduler:
                 # Global combination + redistribution (lines 3-4 of the next
                 # iteration happen here as the broadcast back).
                 if self._global_combination and self.comm.size > 1:
+                    # Read the combine policy fresh each iteration: a
+                    # mid-run adaptor may have replaced it below.
                     self.combination_map_ = global_combine(
                         self.comm, self.combination_map_, self.merge,
-                        algorithm=args.combine_algorithm,
-                        wire_format=args.wire_format,
+                        combine=self.policy.combine,
                     )
                     self.telemetry.inc("run.global_combinations")
                 self.post_combine(self.combination_map_)
                 engine.invalidate_state()
                 self.stats.observe_objects(len(self.combination_map_))
+                if self.policy_adaptor is not None:
+                    # Mid-run adaptation (repro.core.autotune): observes
+                    # post-combine state that is identical on every rank,
+                    # so any policy replacement happens in lockstep and
+                    # takes effect at the next iteration's combination.
+                    self.policy_adaptor.observe(self, iteration)
                 if self.converged(self.combination_map_, iteration):
                     # The map is identical on all ranks after global
                     # combination, so every rank breaks together.
@@ -589,7 +632,7 @@ class Scheduler:
 
     def _make_reduction_maps(self) -> list[KeyedMap]:
         maps: list[KeyedMap] = []
-        for _ in range(self.args.num_threads):
+        for _ in range(self.policy.num_threads):
             if self.seed_reduction_maps:
                 maps.append(self.combination_map_.clone())
             else:
@@ -611,7 +654,7 @@ class Scheduler:
         early-emitted objects are appended to it instead of converted here
         (the parent process converts them into its output array).
         """
-        if self.args.vectorized and self.has_vector_path:
+        if self.policy.vectorized and self.has_vector_path:
             return self._reduce_split_vectorized(split, red_map, data, out, emitted_objs)
         com_map = self.combination_map_
         emitted: list[int] = []
@@ -622,9 +665,9 @@ class Scheduler:
         # scalar path without changing semantics.
         chunks_n = 0
         accumulates_n = 0
-        allow_emission = not self.args.disable_early_emission
+        allow_emission = not self.policy.disable_early_emission
         get_existing = red_map.get
-        for chunk in split.chunks(self.args.chunk_size):
+        for chunk in split.chunks(self.policy.chunk_size):
             chunks_n += 1
             if multi_key:
                 key_buf.clear()
@@ -664,13 +707,13 @@ class Scheduler:
     ) -> list[int]:
         """Vectorized fast path: app-provided bulk reduction + trigger sweep."""
         self.vector_reduce(data, split.start, split.stop, red_map)
-        n_chunks = -(-len(split) // self.args.chunk_size)
+        n_chunks = -(-len(split) // self.policy.chunk_size)
         self.telemetry.inc("run.chunks_processed", n_chunks)
         # One bulk vector_reduce call covered the whole split; counting it
         # as n_chunks accumulate calls would fake scalar-path activity.
         self.telemetry.inc("run.vector_reduce_calls")
         emitted: list[int] = []
-        if self.args.disable_early_emission:
+        if self.policy.disable_early_emission:
             return emitted
         for key in [k for k, obj in red_map.items() if obj.trigger()]:
             if emitted_objs is not None:

@@ -38,13 +38,22 @@ import numpy as np
 
 from ..comm.reduce_ops import MERGE_UFUNCS, merge_identity, structured_reduce_op
 from .maps import KeyedMap, MergeFn
+from .policy import COMBINE_ALGORITHMS, WIRE_FORMATS, CombinePolicy
 from .red_obj import RedObj
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..comm.interface import Communicator
 
-#: Wire formats accepted by :func:`serialize_map` / ``SchedArgs.wire_format``.
-WIRE_FORMATS = ("pickle", "columnar")
+__all__ = [
+    "PackedMap",
+    "WIRE_FORMATS",
+    "WIRE_VERSION",
+    "deserialize_map",
+    "global_combine",
+    "pack_map",
+    "serialize_map",
+    "wire_format_of",
+]
 
 #: Version of the map wire format (bumped whenever the byte layout of
 #: :func:`serialize_map` output changes incompatibly).  Stamped into
@@ -312,8 +321,13 @@ def global_combine(
     merge: MergeFn,
     algorithm: str = "gather",
     wire_format: str = "pickle",
+    combine: CombinePolicy | None = None,
 ) -> KeyedMap:
     """Combine every rank's local combination map into the global one.
+
+    ``combine`` — a :class:`~repro.core.policy.CombinePolicy` — is the
+    preferred spelling and overrides the flat ``algorithm`` /
+    ``wire_format`` arguments (kept for compatibility).
 
     Three algorithms are provided (each ends with every rank holding the
     identical global map — the redistribution of Algorithm 1 lines 3-4):
@@ -335,7 +349,10 @@ def global_combine(
 
     Returns the global combination map (on every rank).
     """
-    if algorithm not in ("gather", "tree", "allreduce"):
+    if combine is not None:
+        algorithm = combine.algorithm
+        wire_format = combine.wire_format
+    if algorithm not in COMBINE_ALGORITHMS:
         raise ValueError(f"unknown combination algorithm {algorithm!r}")
     if wire_format not in WIRE_FORMATS:
         raise ValueError(

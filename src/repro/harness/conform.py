@@ -12,6 +12,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..core import ExecutionPolicy
 from ..telemetry import Recorder
 from ..verify import (
     Config,
@@ -22,6 +23,7 @@ from ..verify import (
     check_workload,
     fuzz_schedule,
     get_workload,
+    run_autotune,
     run_fuzz,
     run_matrix,
     workload_names,
@@ -55,6 +57,15 @@ def _parser() -> argparse.ArgumentParser:
                         metavar="FINGERPRINT",
                         help="run exactly this config fingerprint "
                              "(repeatable; skips matrix generation)")
+    parser.add_argument("--policy", action="append", default=None,
+                        metavar="WORKLOAD@POLICY[@ranks=N]",
+                        help="run a workload under an ExecutionPolicy "
+                             "fingerprint (repeatable; e.g. "
+                             "'histogram@engine=thread,threads=2')")
+    parser.add_argument("--autotune", action="store_true",
+                        help="also run every workload under "
+                             "ExecutionPolicy.auto() advice plus one "
+                             "mid-run combine-switch run")
     parser.add_argument("--properties", action="store_true",
                         help="also run the metamorphic property checks")
     parser.add_argument("--fuzz", type=int, default=0, metavar="N",
@@ -67,6 +78,43 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--list", action="store_true",
                         help="list workloads and axis values, then exit")
     return parser
+
+
+def _policy_configs(tokens: list[str], seed: int) -> list[Config]:
+    """``WORKLOAD@POLICY[@ranks=N]`` tokens → matrix configs.
+
+    ``POLICY`` is an (optionally partial) :meth:`ExecutionPolicy.parse`
+    token string; the workload's chunk/iteration shape is fixed by the
+    registry, and ``ranks`` — not a policy axis — rides in its own
+    ``@``-separated part.
+    """
+    configs = []
+    for token in tokens:
+        parts = [p.strip() for p in token.split("@")]
+        if len(parts) < 2:
+            raise SystemExit(
+                f"--policy needs WORKLOAD@POLICY, got {token!r}")
+        workload, ranks, policy_text = parts[0], 1, ""
+        for part in parts[1:]:
+            if part.startswith("ranks="):
+                ranks = int(part[len("ranks="):])
+            else:
+                policy_text = part
+        policy = ExecutionPolicy.parse(policy_text)
+        get_workload(workload)  # fail fast on unknown names
+        configs.append(Config(
+            workload=workload,
+            engine=policy.engine.backend,
+            wire_format=policy.combine.wire_format,
+            combine_algorithm=policy.combine.algorithm,
+            residency=policy.engine.residency,
+            num_threads=policy.engine.num_threads,
+            block_size=policy.block_size or 0,
+            vectorized=policy.vectorized,
+            ranks=ranks,
+            seed=seed,
+        ))
+    return configs
 
 
 def _list_workloads() -> None:
@@ -101,8 +149,9 @@ def main(argv: list[str] | None = None) -> int:
     telemetry = Recorder()
     cache = OracleCache(telemetry)
 
-    if args.config:
-        configs = [Config.parse(token) for token in args.config]
+    if args.config or args.policy:
+        configs = [Config.parse(token) for token in (args.config or [])]
+        configs.extend(_policy_configs(args.policy or [], args.seed))
     elif args.fuzz_seed is not None and args.fuzz == 0:
         configs = []
     else:
@@ -125,15 +174,25 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             report.mismatches.extend(run_fuzz(
                 name, args.fuzz, cache=cache, telemetry=telemetry))
+    if args.autotune:
+        auto_report = run_autotune(seed=args.seed, telemetry=telemetry,
+                                   cache=cache)
+        report.configs.extend(auto_report.configs)
+        report.policies.extend(auto_report.policies)
+        report.mismatches.extend(auto_report.mismatches)
     report.counters = telemetry.counters("verify.")
 
-    if configs:
-        rows = [(i, fp.replace(f",seed={args.seed}", ""), "ok")
-                for i, fp in enumerate(report.configs)]
+    if report.configs:
         bad = {m.fingerprint for m in report.mismatches}
-        rows = [(i, fp, "MISMATCH" if full in bad else "ok")
-                for (i, fp, _), full in zip(rows, report.configs)]
+        rows = [(i, fp.replace(f",seed={args.seed}", ""),
+                 "MISMATCH" if fp in bad else "ok")
+                for i, fp in enumerate(report.configs)]
         print_table("conformance matrix", ("#", "config", "status"), rows)
+        # The same runs named by the runtime configuration they actually
+        # executed under — ExecutionPolicy fingerprints, `#` keyed to
+        # the matrix table above.
+        print_table("execution policies", ("#", "policy"),
+                    list(enumerate(report.policies)))
 
     for mismatch in report.mismatches:
         print()

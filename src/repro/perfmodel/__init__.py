@@ -14,6 +14,9 @@ from .costmodel import (
     Prediction,
     SimulationModel,
     collective_seconds,
+    combine_crossover_keys,
+    model_combine_allreduce,
+    model_combine_gather,
     model_simulation_only,
     model_space_sharing,
     model_time_sharing,
@@ -42,6 +45,9 @@ __all__ = [
     "calibrate_analytics",
     "calibrate_simulations",
     "collective_seconds",
+    "combine_crossover_keys",
+    "model_combine_allreduce",
+    "model_combine_gather",
     "model_simulation_only",
     "model_space_sharing",
     "model_time_sharing",

@@ -40,6 +40,7 @@ from .oracle import (
     run_matrix,
     ulp_distance,
 )
+from .policy_check import advised_config, autotune_switch_check, run_autotune
 from .properties import (
     applicable_properties,
     check_fault_replay,
@@ -64,7 +65,9 @@ __all__ = [
     "TRANSPARENT_AXES",
     "WORKLOADS",
     "Workload",
+    "advised_config",
     "applicable_properties",
+    "autotune_switch_check",
     "axis_values",
     "build_matrix",
     "check_fault_replay",
@@ -82,6 +85,7 @@ __all__ = [
     "pairwise_prune",
     "replay",
     "repro_command",
+    "run_autotune",
     "run_config",
     "run_fuzz",
     "run_matrix",

@@ -24,6 +24,15 @@ import dataclasses
 import itertools
 from dataclasses import dataclass
 
+from ..core.policy import (
+    COMBINE_ALGORITHMS,
+    ENGINE_BACKENDS,
+    RESIDENCY_MODES,
+    WIRE_FORMATS,
+    CombinePolicy,
+    EnginePolicy,
+    ExecutionPolicy,
+)
 from .workloads import get_workload, workload_names
 
 __all__ = [
@@ -128,6 +137,60 @@ class Config:
         """The reference execution sharing this config's structure axes."""
         return dataclasses.replace(self, **_ORACLE_VALUES)
 
+    def execution_policy(self, fault_policy: str = "fail_fast") -> ExecutionPolicy:
+        """Lower this config's runtime axes to an
+        :class:`~repro.core.policy.ExecutionPolicy`.
+
+        The fault *plan* (engine-kill, comm-delay) is injected by the
+        oracle runner, not the policy; ``fault_policy`` names the
+        scheduler's recovery mode for it.  Block sizes are rounded down
+        to the workload's chunk multiple exactly as the runner rounds
+        them, so the policy fingerprint names the run actually executed.
+        """
+        w = get_workload(self.workload)
+        block = self.block_size or None
+        if block is not None:
+            block = max(w.chunk_size, block - block % w.chunk_size)
+        return ExecutionPolicy(
+            engine=EnginePolicy(
+                backend=self.engine,
+                num_threads=self.num_threads,
+                residency=self.residency,
+            ),
+            combine=CombinePolicy(
+                algorithm=self.combine_algorithm,
+                wire_format=self.wire_format,
+            ),
+            fault=fault_policy,
+            chunk_size=w.chunk_size,
+            num_iters=w.num_iters,
+            block_size=block,
+            vectorized=self.vectorized,
+        )
+
+    def policy_fingerprint(self, fault_policy: str = "fail_fast") -> str:
+        """The :meth:`ExecutionPolicy.fingerprint` of this config's run."""
+        return self.execution_policy(fault_policy).fingerprint()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-domain axis value.
+
+        Delegates to the policy layer — the same ``validate()`` that
+        rejects a bad :class:`~repro.core.SchedArgs`, so the matrix and
+        the runtime cannot drift on what a legal configuration is.
+        """
+        self.execution_policy()
+        if self.fault not in axis_values()["fault"]:
+            raise ValueError(
+                f"fault must be one of {axis_values()['fault']}, "
+                f"got {self.fault!r}"
+            )
+        if self.driver not in axis_values()["driver"]:
+            raise ValueError(
+                f"driver must be one of {axis_values()['driver']}, "
+                f"got {self.driver!r}"
+            )
+
     @property
     def is_oracle(self) -> bool:
         return all(getattr(self, a) == v for a, v in _ORACLE_VALUES.items())
@@ -139,10 +202,12 @@ class Config:
 def axis_values(smoke: bool = True) -> dict[str, tuple]:
     """Candidate values per axis (``workload`` is supplied separately)."""
     return {
-        "engine": ("serial", "thread", "process"),
-        "wire_format": ("pickle", "columnar"),
-        "combine_algorithm": ("gather", "tree", "allreduce"),
-        "residency": ("auto", "off"),
+        # Runtime axes come from the policy layer's single source of
+        # truth; adding a backend there grows the matrix automatically.
+        "engine": ENGINE_BACKENDS,
+        "wire_format": WIRE_FORMATS,
+        "combine_algorithm": COMBINE_ALGORITHMS,
+        "residency": RESIDENCY_MODES,
         "fault": ("none", "engine-kill", "comm-delay"),
         "driver": ("direct", "pipelined"),
         "num_threads": (1, 3) if smoke else (1, 2, 3),

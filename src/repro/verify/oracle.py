@@ -20,8 +20,8 @@ import numpy as np
 
 from ..comm import spmd_launch
 from ..core import (
+    ExecutionPolicy,
     PipelinedTimeSharingDriver,
-    SchedArgs,
     merge_distributed_output,
 )
 from ..faults import FaultPlan, FaultPolicy, FaultSpec
@@ -178,26 +178,20 @@ def _fault_setup(config: Config):
     raise ConformanceError(f"unknown fault axis value {config.fault!r}")
 
 
-def _sched_args(workload: Workload, config: Config, data: np.ndarray,
-                policy) -> SchedArgs:
-    block = config.block_size or None
-    if block is not None:
-        # Block boundaries must land on unit-chunk boundaries; candidate
-        # and oracle share the axis value, so both get the same rounding.
-        block = max(workload.chunk_size, block - block % workload.chunk_size)
-    return SchedArgs(
-        num_threads=config.num_threads,
-        chunk_size=workload.chunk_size,
-        extra_data=workload.extra(data),
-        num_iters=workload.num_iters,
-        block_size=block,
-        engine=config.engine,
-        vectorized=config.vectorized,
-        combine_algorithm=config.combine_algorithm,
-        wire_format=config.wire_format,
-        residency=config.residency,
-        fault_policy=policy,
-    )
+def _exec_policy(workload: Workload, config: Config, data: np.ndarray,
+                 fault_policy) -> ExecutionPolicy:
+    """The candidate's full runtime configuration as a policy object.
+
+    ``Config.execution_policy`` carries every fingerprinted axis
+    (including the chunk-aligned block rounding); only the run's
+    ``extra_data`` — derived from the generated input so candidate and
+    oracle seed identically — is grafted on here.
+    """
+    policy = config.execution_policy(fault_policy)
+    extra = workload.extra(data)
+    if extra is not None:
+        policy = policy.evolve(extra_data=extra)
+    return policy
 
 
 def _stats_comparable(config: Config) -> bool:
@@ -225,20 +219,27 @@ def execute(
     data: np.ndarray | None = None,
     interleave=None,
     comm_plan: FaultPlan | None = None,
+    adaptor_factory=None,
 ) -> RunInfo:
-    """Run one config to completion and extract comparable arrays."""
+    """Run one config to completion and extract comparable arrays.
+
+    ``adaptor_factory`` (e.g. ``lambda: CombineSwitch(...)``) builds a
+    fresh per-scheduler policy adaptor; each rank installs its own so
+    mid-run adaptation runs under conformance too.
+    """
     w = workload if isinstance(workload, Workload) else get_workload(workload)
     if data is None:
         data = w.make_data(config.seed)
     data = np.ascontiguousarray(data, dtype=np.float64)
-    engine_plan, default_comm_plan, policy = _fault_setup(config)
+    engine_plan, default_comm_plan, fault_policy = _fault_setup(config)
     if comm_plan is None:
         comm_plan = default_comm_plan
-    args = _sched_args(w, config, data, policy)
+    args = _exec_policy(w, config, data, fault_policy)
     if config.ranks == 1:
-        return _execute_single(w, config, args, data, engine_plan)
+        return _execute_single(w, config, args, data, engine_plan,
+                               adaptor_factory)
     return _execute_spmd(w, config, args, data, engine_plan, comm_plan,
-                         interleave)
+                         interleave, adaptor_factory)
 
 
 def _finish(workload: Workload, config: Config, result: dict,
@@ -249,11 +250,14 @@ def _finish(workload: Workload, config: Config, result: dict,
     return RunInfo(result=result, counters=counters, injections=injections)
 
 
-def _execute_single(workload: Workload, config: Config, args: SchedArgs,
-                    data: np.ndarray, engine_plan) -> RunInfo:
+def _execute_single(workload: Workload, config: Config,
+                    args: ExecutionPolicy, data: np.ndarray, engine_plan,
+                    adaptor_factory=None) -> RunInfo:
     app = workload.build(args, None)
     if engine_plan is not None:
         app.fault_plan = engine_plan
+    if adaptor_factory is not None:
+        app.policy_adaptor = adaptor_factory()
     with app:
         if config.is_oracle and not app.engine.deterministic:
             raise ConformanceError(
@@ -275,9 +279,9 @@ def _execute_single(workload: Workload, config: Config, args: SchedArgs,
     return _finish(workload, config, result, counters, engine_plan)
 
 
-def _execute_spmd(workload: Workload, config: Config, args: SchedArgs,
+def _execute_spmd(workload: Workload, config: Config, args: ExecutionPolicy,
                   data: np.ndarray, engine_plan, comm_plan,
-                  interleave) -> RunInfo:
+                  interleave, adaptor_factory=None) -> RunInfo:
     ranks = config.ranks
     rows = len(data) // workload.chunk_size
     sizes = [rows // ranks + (1 if r < rows % ranks else 0)
@@ -292,6 +296,8 @@ def _execute_spmd(workload: Workload, config: Config, args: SchedArgs,
         app = workload.build(args, comm)
         if engine_plan is not None:
             app.fault_plan = engine_plan
+        if adaptor_factory is not None:
+            app.policy_adaptor = adaptor_factory()
         with app:
             if workload.multi_key:
                 out = np.full(out_len, np.nan)
@@ -445,6 +451,10 @@ class ConformanceReport:
     """Aggregated outcome of a matrix run (JSON-serializable)."""
 
     configs: list[str] = field(default_factory=list)
+    #: Per-config :meth:`ExecutionPolicy.fingerprint` — the runtime
+    #: configuration each run actually executed under, in :attr:`configs`
+    #: order.
+    policies: list[str] = field(default_factory=list)
     mismatches: list[Mismatch] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     seed: int = 0
@@ -458,6 +468,7 @@ class ConformanceReport:
             "ok": self.ok,
             "seed": self.seed,
             "configs": list(self.configs),
+            "policies": list(self.policies),
             "mismatches": [m.to_dict() for m in self.mismatches],
             "counters": dict(self.counters),
         }
@@ -483,6 +494,10 @@ def run_matrix(
         seed=configs[0].seed if configs else 0)
     for config in configs:
         report.configs.append(config.fingerprint())
+        # Fingerprint the policy the run really executes under — the
+        # fault axis decides the recovery mode, not the policy default.
+        _, _, fault_policy = _fault_setup(config)
+        report.policies.append(config.policy_fingerprint(fault_policy))
         report.mismatches.extend(
             run_config(config, cache=cache, telemetry=telemetry))
     report.counters = telemetry.counters("verify.")

@@ -64,6 +64,13 @@ class Workload:
     exact_partition: bool = False
     exact_permutation: bool = False
     exact_merge: bool = False
+    #: Expected combination-map key count — the :class:`PolicyAdvisor`'s
+    #: gather/allreduce input (``ExecutionPolicy.auto``).
+    key_estimate: int = 16
+    #: Whether the reduction object declares a ufunc-mergeable columnar
+    #: schema (allreduce/columnar eligible; optimistic hints are safe —
+    #: the runtime falls back collectively).
+    schema_mergeable: bool = False
     build_kwargs: dict = field(default_factory=dict)
 
     def make_data(self, seed: int, elements: int | None = None) -> np.ndarray:
@@ -139,6 +146,8 @@ _register(Workload(
     exact_partition=True,
     exact_permutation=True,
     exact_merge=True,
+    key_estimate=32,
+    schema_mergeable=True,
 ))
 
 _register(Workload(
@@ -152,6 +161,8 @@ _register(Workload(
     exact_partition=True,
     exact_permutation=True,
     exact_merge=True,
+    key_estimate=1,
+    schema_mergeable=True,
 ))
 
 _register(Workload(
@@ -164,6 +175,8 @@ _register(Workload(
     default_elements=720,
     make_extra=_kmeans_init,
     has_vector_path=True,
+    key_estimate=4,
+    schema_mergeable=False,
 ))
 
 _register(Workload(
@@ -175,6 +188,8 @@ _register(Workload(
     num_iters=3,
     default_elements=800,
     has_vector_path=True,
+    key_estimate=1,
+    schema_mergeable=False,
 ))
 
 _register(Workload(
@@ -185,6 +200,8 @@ _register(Workload(
     multi_key=True,
     default_elements=512,
     has_vector_path=True,
+    key_estimate=512,
+    schema_mergeable=True,
 ))
 
 _register(Workload(
@@ -197,6 +214,8 @@ _register(Workload(
     # np.median over the held multiset does not depend on how samples
     # were split across partitions, only on which samples arrived.
     exact_partition=True,
+    key_estimate=384,
+    schema_mergeable=False,
 ))
 
 _register(Workload(
@@ -207,6 +226,8 @@ _register(Workload(
     description="Savitzky-Golay smoothing, window 7, order 2",
     multi_key=True,
     default_elements=384,
+    key_estimate=384,
+    schema_mergeable=False,
 ))
 
 _register(Workload(
@@ -216,6 +237,8 @@ _register(Workload(
     description="Gaussian kernel smoother, window 9",
     multi_key=True,
     default_elements=384,
+    key_estimate=384,
+    schema_mergeable=True,
 ))
 
 _register(Workload(
@@ -228,6 +251,8 @@ _register(Workload(
     multi_key=True,
     default_elements=512,
     out_len=lambda n: KDE_GRID_POINTS,
+    key_estimate=41,
+    schema_mergeable=True,
 ))
 
 
