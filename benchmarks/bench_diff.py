@@ -39,6 +39,14 @@ METRICS: dict[str, tuple[str, ...]] = {
     "BENCH_autotune.json": (
         "summary.matched_fraction",
     ),
+    "BENCH_map.json": (
+        "summary.histogram_speedup",
+        "summary.grid_aggregation_speedup",
+        "summary.kde_grid_speedup",
+    ),
+    "BENCH_chaos.json": (
+        "overhead.overhead_ratio",
+    ),
 }
 
 DEFAULT_THRESHOLD = 0.25

@@ -10,12 +10,29 @@ from __future__ import annotations
 import numpy as np
 
 from ..comm.interface import Communicator
+from ..core.batch import HAVE_NUMBA, ColumnarAccumulator, maybe_njit
 from ..core.chunk import Chunk
 from ..core.maps import KeyedMap
 from ..core.red_obj import RedObj
 from ..core.sched_args import SchedArgs
 from ..core.scheduler import Scheduler
 from .objects import CountObj
+
+
+@maybe_njit(cache=True)
+def _histogram_count_kernel(block, lo, width, num_buckets, counts):  # pragma: no cover
+    """Single-pass bucket-count scatter (numba-compiled when available).
+
+    Divides by ``width`` — not a reciprocal multiply — so the quotient
+    rounds exactly like the scalar ``bucket_of``.
+    """
+    for i in range(block.shape[0]):
+        k = np.int64((block[i] - lo) / width)
+        if k < 0:
+            k = 0
+        elif k >= num_buckets:
+            k = num_buckets - 1
+        counts[k] += 1
 
 
 class Histogram(Scheduler):
@@ -97,6 +114,25 @@ class Histogram(Scheduler):
                 obj = CountObj()
                 red_map[int(key)] = obj
             obj.count += int(counts[key])
+
+    # -- batch-map path ------------------------------------------------------
+    def make_accumulator(self, start: int, stop: int) -> ColumnarAccumulator:
+        return ColumnarAccumulator(CountObj(), 0, self.num_buckets)
+
+    def batch_reduce(
+        self, data: np.ndarray, start: int, stop: int, acc: ColumnarAccumulator
+    ) -> None:
+        block = data[start:stop]
+        if HAVE_NUMBA:  # pragma: no cover - numba not in the test image
+            counts = np.zeros(self.num_buckets, dtype=np.int64)
+            _histogram_count_kernel(block, self.lo, self.width, self.num_buckets, counts)
+        else:
+            keys = ((block - self.lo) / self.width).astype(np.int64)
+            np.clip(keys, 0, self.num_buckets - 1, out=keys)
+            counts = np.bincount(keys, minlength=self.num_buckets)
+        count_col = acc.column("count")
+        count_col += counts
+        acc.contrib += counts
 
     # -- convenience ---------------------------------------------------------
     def counts(self) -> np.ndarray:

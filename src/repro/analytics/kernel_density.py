@@ -27,6 +27,7 @@ import math
 import numpy as np
 
 from ..comm.interface import Communicator
+from ..core.batch import ColumnarAccumulator
 from ..core.chunk import Chunk
 from ..core.maps import KeyedMap
 from ..core.red_obj import RedObj
@@ -151,6 +152,44 @@ class ValueGridKDE(Scheduler):
 
     def convert(self, red_obj: RedObj, out: np.ndarray, key: int) -> None:
         out[key] = red_obj.total
+
+    # -- batch-map path ------------------------------------------------------
+    def make_accumulator(self, start: int, stop: int) -> ColumnarAccumulator:
+        return ColumnarAccumulator(SumCountObj(), 0, self.grid.shape[0])
+
+    def batch_reduce(
+        self, data: np.ndarray, start: int, stop: int, acc: ColumnarAccumulator
+    ) -> None:
+        """Sample-major (sample, grid-point) pair expansion.
+
+        The pair list enumerates each sample's reach in ascending sample
+        order — the exact visitation order of the scalar ``gen_keys``
+        loop — and ``np.add.at`` applies updates in pair order, so per-key
+        sums group identically.  The one deviation: ``np.exp`` (SIMD) may
+        differ from ``math.exp`` (libm) in the last ulp per term, which
+        is why this workload declares a ``batch_ulp`` bound in the
+        conformance registry instead of bit-exactness.
+        """
+        block = np.asarray(data[start:stop], dtype=np.float64)
+        reach = self.cutoff * self.bandwidth
+        lo_idx = np.searchsorted(self.grid, block - reach, "left")
+        hi_idx = np.searchsorted(self.grid, block + reach, "right")
+        counts_per = hi_idx - lo_idx
+        total_pairs = int(counts_per.sum())
+        if total_pairs == 0:
+            return
+        ends = np.cumsum(counts_per)
+        starts = ends - counts_per
+        within = np.arange(total_pairs) - np.repeat(starts, counts_per)
+        keys = np.repeat(lo_idx, counts_per) + within
+        vals = np.repeat(block, counts_per)
+        z = (vals - self.grid[keys]) / self.bandwidth
+        mass = np.exp(-0.5 * z * z)
+        np.add.at(acc.column("total"), keys, mass)
+        cnt = np.bincount(keys, minlength=len(acc)).astype(np.int64)
+        count_col = acc.column("count")
+        count_col += cnt
+        acc.contrib += cnt
 
     def density(self, n_samples: int) -> np.ndarray:
         """Normalized density over the grid given the global sample count."""

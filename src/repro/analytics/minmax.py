@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import ColumnarAccumulator
 from ..core.chunk import Chunk
 from ..core.maps import KeyedMap
 from ..core.red_obj import Field, RedObj
@@ -67,6 +68,23 @@ class MinMax(Scheduler):
             red_map[0] = obj
         obj.lo = min(obj.lo, float(block.min()))
         obj.hi = max(obj.hi, float(block.max()))
+
+    # -- batch-map path ------------------------------------------------------
+    def make_accumulator(self, start: int, stop: int) -> ColumnarAccumulator:
+        return ColumnarAccumulator(MinMaxObj(), 0, 1)
+
+    def batch_reduce(
+        self, data: np.ndarray, start: int, stop: int, acc: ColumnarAccumulator
+    ) -> None:
+        # min/max are exactly associative, so one reduction over the block
+        # folded against the seeded running value is bit-identical to the
+        # element loop.
+        block = data[start:stop]
+        lo = acc.column("lo")
+        hi = acc.column("hi")
+        lo[0] = min(lo[0], block.min())
+        hi[0] = max(hi[0], block.max())
+        acc.contrib[0] += stop - start
 
     @property
     def value_range(self) -> tuple[float, float]:

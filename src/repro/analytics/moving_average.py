@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import ColumnarAccumulator
 from ..core.chunk import Chunk
 from ..core.maps import KeyedMap
 from ..core.red_obj import RedObj
@@ -61,6 +62,47 @@ class MovingAverage(WindowScheduler):
                 red_map[key] = obj
             obj.total += float(sums[i])
             obj.count += int(counts[i])
+
+
+    # -- batch-map path ------------------------------------------------------
+    def make_accumulator(self, start: int, stop: int) -> ColumnarAccumulator:
+        half = self.win_size // 2
+        g0 = self.global_offset_ + start
+        g1 = self.global_offset_ + stop
+        key_lo = max(g0 - half, 0)
+        key_hi = min(g1 + half, self.total_len_)
+        return ColumnarAccumulator(WindowSumObj(self.win_size), key_lo, key_hi)
+
+    def batch_reduce(
+        self, data: np.ndarray, start: int, stop: int, acc: ColumnarAccumulator
+    ) -> None:
+        block = data[start:stop]
+        half = self.win_size // 2
+        g0 = self.global_offset_ + start
+        g1 = self.global_offset_ + stop
+        totals = acc.column("total")
+        counts = acc.column("count")
+        contrib = acc.contrib
+        # Offsets run DESCENDING (+half .. -half) so every key receives
+        # its contributing elements in ascending element order, matching
+        # the scalar loop's float grouping bit-for-bit: element g lands
+        # on key g + o, so for a fixed key k the contributing element is
+        # g = k - o — descending o gives ascending g.  (The object-path
+        # vector_reduce above iterates ascending and is therefore only
+        # value-equal, not bit-exact, which is why ``vectorized`` is a
+        # structure axis in the conformance kit while ``map_path`` is
+        # transparent.)
+        for offset in range(half, -half - 1, -1):
+            lo = max(g0, -offset)
+            hi = min(g1, self.total_len_ - offset)
+            if hi <= lo:
+                continue
+            k0 = lo + offset - acc.key_lo
+            k1 = hi + offset - acc.key_lo
+            seg = block[lo - g0 : hi - g0]
+            totals[k0:k1] += seg
+            counts[k0:k1] += 1
+            contrib[k0:k1] += 1
 
 
 def reference_moving_average(data: np.ndarray, win_size: int) -> np.ndarray:

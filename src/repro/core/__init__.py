@@ -14,6 +14,7 @@ Public surface:
 * :class:`SmartPipeline` — chained Smart jobs with local-only stages.
 """
 
+from .batch import HAVE_NUMBA, ColumnarAccumulator, maybe_njit
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .chunk import Chunk, Split, iter_blocks, make_splits
 from .engine import (
@@ -30,6 +31,7 @@ from .pipeline import PipelineStage, SmartPipeline
 from .policy import (
     COMBINE_ALGORITHMS,
     ENGINE_BACKENDS,
+    MAP_PATHS,
     RESIDENCY_MODES,
     CombinePolicy,
     EnginePolicy,
@@ -67,6 +69,7 @@ __all__ = [
     "save_checkpoint",
     "Chunk",
     "CircularBuffer",
+    "ColumnarAccumulator",
     "CombinePolicy",
     "CombineSwitch",
     "COMBINE_ALGORITHMS",
@@ -76,7 +79,10 @@ __all__ = [
     "ExecutionEngine",
     "ExecutionPolicy",
     "Field",
+    "HAVE_NUMBA",
     "KeyedMap",
+    "MAP_PATHS",
+    "maybe_njit",
     "PolicyAdvisor",
     "RESIDENCY_MODES",
     "PackedMap",

@@ -92,6 +92,7 @@ class PolicyAdvisor:
         key_estimate: int = 16,
         schema_mergeable: bool = False,
         has_vector_path: bool = False,
+        has_batch_path: bool = False,
         extra_data: Any = None,
         block_size: int | None = None,
         **overrides: Any,
@@ -118,6 +119,11 @@ class PolicyAdvisor:
             optimistic).
         has_vector_path:
             Whether the application implements ``vector_reduce``.
+        has_batch_path:
+            Whether the application implements the batch-map path
+            (``make_accumulator`` / ``batch_reduce``); when it does the
+            advisor forces ``map_path="batch"`` — the strongest
+            per-element-overhead elimination the runtime offers.
         overrides:
             Passed through to the policy verbatim (``copy_input``,
             ``fault``, ``residency``, ...).
@@ -126,8 +132,8 @@ class PolicyAdvisor:
             elements=elements, ranks=ranks, threads=threads,
             chunk_size=chunk_size, num_iters=num_iters,
             key_estimate=key_estimate, schema_mergeable=schema_mergeable,
-            has_vector_path=has_vector_path, extra_data=extra_data,
-            block_size=block_size, **overrides,
+            has_vector_path=has_vector_path, has_batch_path=has_batch_path,
+            extra_data=extra_data, block_size=block_size, **overrides,
         ).policy
 
     def advise_with_detail(
@@ -141,6 +147,7 @@ class PolicyAdvisor:
         key_estimate: int = 16,
         schema_mergeable: bool = False,
         has_vector_path: bool = False,
+        has_batch_path: bool = False,
         extra_data: Any = None,
         block_size: int | None = None,
         **overrides: Any,
@@ -153,14 +160,19 @@ class PolicyAdvisor:
         )
 
         residency = overrides.pop("residency", "auto")
-        # Engine: the vectorized fast path makes the serial/thread loop
-        # numpy-bound, so process pools only pay off on large scalar
+        # Map path: the batch path (whole-split columnar scatters)
+        # dominates the per-object vector path wherever both exist, so
+        # an application exposing batch_reduce gets it unconditionally.
+        map_path = "batch" if has_batch_path else "auto"
+        vectorized = has_vector_path and not has_batch_path
+        # Engine: the vectorized/batch fast paths make the serial/thread
+        # loop numpy-bound, so process pools only pay off on large scalar
         # loops where shipping splits beats holding the GIL.
-        vectorized = has_vector_path
+        numpy_bound = vectorized or has_batch_path
         if threads > 1:
             backend = "thread"
             if (
-                not vectorized
+                not numpy_bound
                 and elements // max(chunk_size, 1) >= PROCESS_ENGINE_MIN_ELEMENTS
             ):
                 backend = "process"
@@ -183,7 +195,8 @@ class PolicyAdvisor:
 
         policy = ExecutionPolicy(
             engine=EnginePolicy(
-                backend=backend, num_threads=num_threads, residency=residency
+                backend=backend, num_threads=num_threads,
+                residency=residency, map_path=map_path,
             ),
             combine=CombinePolicy(algorithm=algorithm, wire_format=wire),
             chunk_size=chunk_size,
@@ -198,6 +211,7 @@ class PolicyAdvisor:
             self.telemetry.inc(f"policy.advice.engine.{backend}")
             self.telemetry.inc(f"policy.advice.algo.{algorithm}")
             self.telemetry.inc(f"policy.advice.wire.{wire}")
+            self.telemetry.inc(f"policy.advice.map.{map_path}")
             self.telemetry.set_gauge("policy.crossover_keys", crossover)
         return Advice(
             policy=policy,

@@ -57,6 +57,16 @@ class KeyedMap:
         self._d.clear()
         self._d.update(other._d)
 
+    def replace_items(
+        self, keys: Iterable[int], objs: Iterable[RedObj]
+    ) -> None:
+        """Set ``keys[i] -> objs[i]`` in bulk (trusted, no validation).
+
+        The batch-map fold uses this to land a whole split's touched
+        rows at dict-update speed; keys must already be Python ints.
+        """
+        self._d.update(zip(keys, objs))
+
     # -- dict-like surface -------------------------------------------------
     def __len__(self) -> int:
         return len(self._d)

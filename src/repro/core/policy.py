@@ -46,6 +46,7 @@ from ..faults import FaultPolicy
 __all__ = [
     "COMBINE_ALGORITHMS",
     "ENGINE_BACKENDS",
+    "MAP_PATHS",
     "RESIDENCY_MODES",
     "WIRE_FORMATS",
     "CombinePolicy",
@@ -61,6 +62,8 @@ __all__ = [
 ENGINE_BACKENDS = ("serial", "thread", "process")
 #: Process-engine input-residency modes.
 RESIDENCY_MODES = ("auto", "off")
+#: Map-phase execution paths (:attr:`EnginePolicy.map_path`).
+MAP_PATHS = ("auto", "scalar", "vector", "batch")
 #: Global-combination algorithms.
 COMBINE_ALGORITHMS = ("gather", "tree", "allreduce")
 #: Map wire formats (the single source; ``repro.core.serialization``
@@ -160,11 +163,23 @@ class EnginePolicy:
         Process-engine input residency: ``"auto"`` keeps partition
         segments resident across runs; ``"off"`` restores
         segment-per-run.
+    map_path:
+        Which map-phase implementation reduces a split: ``"auto"``
+        (the default — the scheduler picks the fastest path the
+        application implements, honouring ``vectorized``),
+        ``"scalar"`` (the paper's per-chunk ``gen_key``/``accumulate``
+        loop), ``"vector"`` (the application's ``vector_reduce`` numpy
+        path), or ``"batch"`` (the application's ``batch_reduce``
+        scatter kernels over a preallocated
+        :class:`~repro.core.batch.ColumnarAccumulator` — zero
+        per-element emission).  Forcing a path the application does not
+        implement raises at run time with the subclass named.
     """
 
     backend: str = "serial"
     num_threads: int = 1
     residency: str = "auto"
+    map_path: str = "auto"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -181,11 +196,15 @@ class EnginePolicy:
             raise ValueError(
                 f"residency must be 'auto' or 'off', got {self.residency!r}"
             )
+        if self.map_path not in MAP_PATHS:
+            raise ValueError(
+                f"map_path must be one of {MAP_PATHS}, got {self.map_path!r}"
+            )
 
     def fingerprint(self) -> str:
         return (
             f"engine={self.backend},threads={self.num_threads},"
-            f"residency={self.residency}"
+            f"residency={self.residency},map={self.map_path}"
         )
 
     @classmethod
@@ -194,6 +213,7 @@ class EnginePolicy:
             "engine": ("backend", str),
             "threads": ("num_threads", int),
             "residency": ("residency", str),
+            "map": ("map_path", str),
         })
         return cls(**kwargs)
 
@@ -327,6 +347,7 @@ class ExecutionPolicy:
             "engine": (engine, "backend", str),
             "threads": (engine, "num_threads", int),
             "residency": (engine, "residency", str),
+            "map": (engine, "map_path", str),
             "algo": (combine, "algorithm", str),
             "wire": (combine, "wire_format", str),
             "fault": (top, "fault", parse_fault),
@@ -396,6 +417,10 @@ class ExecutionPolicy:
     @property
     def residency(self) -> str:
         return self.engine.residency
+
+    @property
+    def map_path(self) -> str:
+        return self.engine.map_path
 
     @property
     def resolved_engine(self) -> str:

@@ -72,6 +72,10 @@ class SchedArgs:
         Use the application's numpy ``vector_reduce`` fast path when it
         provides one (semantically identical to the chunk loop; tests
         assert the equivalence).
+    map_path:
+        Map-phase implementation selector (``"auto"``, ``"scalar"``,
+        ``"vector"``, or ``"batch"``) — see
+        :attr:`repro.core.policy.EnginePolicy.map_path`.
     buffer_capacity:
         Cells in the space-sharing circular buffer (paper Figure 4).
     copy_input:
@@ -130,6 +134,7 @@ class SchedArgs:
     engine: str | None = None
     use_threads: bool = False
     vectorized: bool = False
+    map_path: str = "auto"
     buffer_capacity: int = 4
     copy_input: bool = False
     disable_early_emission: bool = False
@@ -175,6 +180,7 @@ class SchedArgs:
                 backend=backend,
                 num_threads=self.num_threads,
                 residency=self.residency,
+                map_path=self.map_path,
             ),
             combine=CombinePolicy(
                 algorithm=self.combine_algorithm,

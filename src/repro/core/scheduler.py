@@ -43,6 +43,7 @@ from ..comm.local import LocalComm
 from ..comm.reduce_ops import NANOVERLAY
 from ..faults import EngineFaultError, FaultPlan
 from ..telemetry import Recorder
+from .batch import ColumnarAccumulator
 from .chunk import Chunk, Split, iter_blocks, make_splits
 from .circular_buffer import CircularBuffer
 from .engine import ExecutionEngine, create_engine
@@ -85,6 +86,7 @@ class RunStats:
     chunks_processed = _run_counter("chunks_processed")
     accumulate_calls = _run_counter("accumulate_calls")
     vector_reduce_calls = _run_counter("vector_reduce_calls")
+    batch_reduce_calls = _run_counter("batch_reduce_calls")
     early_emissions = _run_counter("early_emissions")
     iterations_run = _run_counter("iterations_run")
     runs = _run_counter("runs")
@@ -134,6 +136,7 @@ _ENGINE_LOCAL_ATTRS = frozenset(
         "_engine",
         "_fed",
         "_data_version",
+        "_batch_export",
     }
 )
 
@@ -196,6 +199,11 @@ class Scheduler:
         # process engine can tell "same array, same contents" (skip the
         # shared-memory copy) from "same array, rewritten in place".
         self._data_version = 0
+        # Set by _reduce_split_batch when the split's accumulator still
+        # holds the complete reduction-map state: the process engine then
+        # ships its columns straight onto the columnar wire instead of
+        # repacking objects.
+        self._batch_export: ColumnarAccumulator | None = None
         # Per-run context visible to user callbacks (paper exposes the same
         # names with trailing underscores).
         self.data_: np.ndarray | None = None
@@ -309,6 +317,72 @@ class Scheduler:
     @property
     def has_vector_path(self) -> bool:
         return type(self).vector_reduce is not Scheduler.vector_reduce
+
+    # Optional batch fast path ------------------------------------------
+    def make_accumulator(self, start: int, stop: int) -> ColumnarAccumulator:
+        """Build the :class:`~repro.core.batch.ColumnarAccumulator` for a
+        split covering local elements ``[start, stop)``.
+
+        Applications implementing :meth:`batch_reduce` must override this
+        to declare the key window their kernel scatters into (e.g. all
+        histogram buckets, or the grid cells a split's positions touch)
+        and to supply a freshly constructed reduction object as the row
+        prototype: ``ColumnarAccumulator(CountObj(), 0, num_buckets)``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} implements batch_reduce() but not "
+            "make_accumulator(); the batch map path needs the key window "
+            "and row prototype"
+        )
+
+    def batch_reduce(
+        self, data: np.ndarray, start: int, stop: int, acc: ColumnarAccumulator
+    ) -> None:
+        """Batch fast path over ``[start, stop)``: scatter the whole split
+        into preallocated columns — zero per-element ``gen_key`` /
+        ``accumulate`` calls, zero reduction-map dict writes.
+
+        Kernels update ``acc.column(name)`` with ``np.bincount`` /
+        ``np.add.at``-style scatters and must record every touched key in
+        ``acc.contrib``.  Must produce exactly the state the scalar loop
+        would: present contributions to each key in ascending element
+        order (``np.bincount`` and ``np.add.at`` apply updates in input
+        order, so this also fixes the float grouping).  Enabled via
+        ``EnginePolicy(map_path="batch")`` or the policy advisor; the
+        conformance kit diffs it against the scalar oracle.
+        """
+        raise NotImplementedError
+
+    @property
+    def has_batch_path(self) -> bool:
+        return type(self).batch_reduce is not Scheduler.batch_reduce
+
+    def _resolve_map_path(self) -> str:
+        """The map-phase implementation this run uses for each split.
+
+        ``"auto"`` preserves the historical dispatch — the vector path
+        when ``policy.vectorized`` and the application provides one,
+        else the scalar loop; batch is opt-in (forced here, or advised
+        by :class:`~repro.core.autotune.PolicyAdvisor`).  Forcing a path
+        the application does not implement fails with the subclass
+        named.
+        """
+        path = self.policy.engine.map_path
+        if path == "auto":
+            if self.policy.vectorized and self.has_vector_path:
+                return "vector"
+            return "scalar"
+        if path == "vector" and not self.has_vector_path:
+            raise TypeError(
+                f"map_path='vector' but {type(self).__name__} does not "
+                "implement vector_reduce()"
+            )
+        if path == "batch" and not self.has_batch_path:
+            raise TypeError(
+                f"map_path='batch' but {type(self).__name__} does not "
+                "implement batch_reduce()"
+            )
+        return path
 
     # Optional state-delta hooks ----------------------------------------
     def mutable_state(self) -> dict:
@@ -654,7 +728,11 @@ class Scheduler:
         early-emitted objects are appended to it instead of converted here
         (the parent process converts them into its output array).
         """
-        if self.policy.vectorized and self.has_vector_path:
+        self._batch_export = None
+        path = self._resolve_map_path()
+        if path == "batch":
+            return self._reduce_split_batch(split, red_map, data, out, emitted_objs)
+        if path == "vector":
             return self._reduce_split_vectorized(split, red_map, data, out, emitted_objs)
         com_map = self.combination_map_
         emitted: list[int] = []
@@ -679,7 +757,11 @@ class Scheduler:
                 existing = get_existing(key)
                 red_obj = self.accumulate(chunk, data, existing, key)
                 if red_obj is None:
-                    ensure_red_obj(red_obj)  # raises with guidance
+                    raise TypeError(
+                        f"{type(self).__name__}.accumulate() returned None "
+                        f"for key {key}; accumulate() must return the "
+                        "(possibly newly created) reduction object"
+                    )
                 if red_obj is not existing:
                     red_map[key] = ensure_red_obj(red_obj)
                 accumulates_n += 1
@@ -711,7 +793,10 @@ class Scheduler:
         self.telemetry.inc("run.chunks_processed", n_chunks)
         # One bulk vector_reduce call covered the whole split; counting it
         # as n_chunks accumulate calls would fake scalar-path activity.
+        # Publishing the counter at 0 lets telemetry consumers tell "no
+        # scalar work ran" from "counter never recorded".
         self.telemetry.inc("run.vector_reduce_calls")
+        self.telemetry.inc("run.accumulate_calls", 0)
         emitted: list[int] = []
         if self.policy.disable_early_emission:
             return emitted
@@ -722,6 +807,55 @@ class Scheduler:
                 self.convert(red_map[key], out, key)
             del red_map[key]
             emitted.append(key)
+        if emitted:
+            self.telemetry.inc("run.early_emissions", len(emitted))
+        return emitted
+
+    def _reduce_split_batch(
+        self,
+        split: Split,
+        red_map: KeyedMap,
+        data: np.ndarray,
+        out: np.ndarray | None,
+        emitted_objs: list[tuple[int, RedObj]] | None = None,
+    ) -> list[int]:
+        """Batch fast path: scatter the whole split into a preallocated
+        columnar accumulator, then fold touched rows back into the map.
+
+        Bit-exactness: the accumulator is seeded from ``red_map`` before
+        the kernel runs, so in-order scatters continue from prior totals
+        exactly like scalar in-place mutation, and the fold *replaces*
+        touched entries rather than merging subtotals (merging would
+        regroup the float additions).  Early emission sweeps the touched
+        keys only — the same keys the scalar loop could newly trigger.
+        """
+        acc = self.make_accumulator(split.start, split.stop)
+        acc.load_from(red_map)
+        self.batch_reduce(data, split.start, split.stop, acc)
+        n_chunks = -(-len(split) // self.policy.chunk_size)
+        self.telemetry.inc("run.chunks_processed", n_chunks)
+        self.telemetry.inc("run.batch_reduce_calls")
+        self.telemetry.inc("run.batch_elements", len(split))
+        # Explicit zero: no scalar accumulate() ran on this path (same
+        # telemetry contract as the vectorized path above).
+        self.telemetry.inc("run.accumulate_calls", 0)
+        touched = acc.fold_into(red_map)
+        # When the window covered every pre-existing key, the columns now
+        # hold the complete post-fold map state; the process engine can
+        # ship them onto the columnar wire without repacking objects.
+        self._batch_export = acc if acc.complete else None
+        emitted: list[int] = []
+        if self.policy.disable_early_emission:
+            return emitted
+        for key in touched.tolist():
+            obj = red_map.get(key)
+            if obj is not None and obj.trigger():
+                if emitted_objs is not None:
+                    emitted_objs.append((key, obj))
+                elif out is not None:
+                    self.convert(obj, out, key)
+                del red_map[key]
+                emitted.append(key)
         if emitted:
             self.telemetry.inc("run.early_emissions", len(emitted))
         return emitted

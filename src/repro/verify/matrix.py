@@ -49,10 +49,14 @@ __all__ = [
 STRUCTURE_AXES = (
     "workload", "num_threads", "block_size", "vectorized", "ranks", "seed",
 )
-# Axes the runtime promises are invisible in the result.
+# Axes the runtime promises are invisible in the result.  ``map_path``
+# is transparent with one declared exception: a workload may carry a
+# positive ``batch_ulp`` bound for known vector-math last-ulp drift
+# (np.exp vs math.exp), which the differ applies only under
+# ``map_path=batch``.
 TRANSPARENT_AXES = (
     "engine", "wire_format", "combine_algorithm", "residency", "fault",
-    "driver",
+    "driver", "map_path",
 )
 
 _ORACLE_VALUES = {
@@ -62,6 +66,10 @@ _ORACLE_VALUES = {
     "residency": "auto",
     "fault": "none",
     "driver": "direct",
+    # "auto", not "scalar": the oracle must retain the structure axis
+    # ``vectorized`` (auto resolves to scalar whenever vectorized is
+    # False, which it always is for a forced map_path — see is_valid).
+    "map_path": "auto",
 }
 
 # Short keys used in fingerprints / --config tokens.
@@ -73,6 +81,7 @@ _SHORT = {
     "residency": "residency",
     "fault": "fault",
     "driver": "driver",
+    "map_path": "map",
     "num_threads": "threads",
     "block_size": "block",
     "vectorized": "vec",
@@ -96,6 +105,7 @@ class Config:
     residency: str = "auto"
     fault: str = "none"
     driver: str = "direct"
+    map_path: str = "auto"
     num_threads: int = 1
     block_size: int = 0  # 0 = whole partition in one block
     vectorized: bool = False
@@ -156,6 +166,7 @@ class Config:
                 backend=self.engine,
                 num_threads=self.num_threads,
                 residency=self.residency,
+                map_path=self.map_path,
             ),
             combine=CombinePolicy(
                 algorithm=self.combine_algorithm,
@@ -210,6 +221,11 @@ def axis_values(smoke: bool = True) -> dict[str, tuple]:
         "residency": RESIDENCY_MODES,
         "fault": ("none", "engine-kill", "comm-delay"),
         "driver": ("direct", "pipelined"),
+        # "vector" is deliberately absent: forcing the vector path is
+        # covered by the (structural) ``vectorized`` axis, and the full
+        # matrix's explicit "scalar" only documents that forcing the
+        # default is a no-op.
+        "map_path": ("auto", "batch") if smoke else ("auto", "scalar", "batch"),
         "num_threads": (1, 3) if smoke else (1, 2, 3),
         "block_size": (0, 256),
         "vectorized": (False, True),
@@ -228,6 +244,13 @@ def is_valid(config: Config, smoke: bool = True) -> bool:
     w = get_workload(config.workload)
     if config.vectorized and not w.has_vector_path:
         return False
+    if config.map_path != "auto":
+        # A forced map path overrides the vectorized toggle; keep the
+        # axes orthogonal so every config names exactly one execution.
+        if config.vectorized:
+            return False
+        if config.map_path == "batch" and not w.has_batch_path:
+            return False
     if config.driver == "pipelined" and not (w.steps_ok and config.ranks == 1):
         return False
     if config.fault == "engine-kill" and not (

@@ -339,15 +339,33 @@ def diff_results(
     actual: dict[str, np.ndarray],
 ) -> list[Mismatch]:
     """Bit-compare two extracted runs; one mismatch per divergent field
-    (anchored at the first divergent flat index)."""
+    (anchored at the first divergent flat index).
+
+    Under ``map_path=batch`` two declared allowances apply: the
+    ``run.accumulate_calls`` stat is masked from both sides (the batch
+    path performs zero scalar accumulate calls by design), and a
+    workload's positive ``batch_ulp`` bound tolerates known vector-math
+    last-ulp drift per float entry.  Everything else stays bit-exact.
+    """
     fp = config.fingerprint()
     repro = repro_command(config)
     mismatches: list[Mismatch] = []
+    batch = getattr(config, "map_path", "auto") == "batch"
+    ulp_tol = get_workload(workload_name).batch_ulp if batch else 0
     if "run.stats" not in expected or "run.stats" not in actual:
         # Stats are advisory (dropped on replayed-fault runs); compare
         # them only when both executions considered them meaningful.
         expected = {k: v for k, v in expected.items() if k != "run.stats"}
         actual = {k: v for k, v in actual.items() if k != "run.stats"}
+    elif batch:
+        # The oracle cache is shared across transparent variants, so the
+        # mask is applied here rather than baked into the oracle run.
+        keep = [i for i, name in enumerate(_STAT_COUNTERS)
+                if name != "run.accumulate_calls"]
+        expected = dict(expected)
+        actual = dict(actual)
+        expected["run.stats"] = np.asarray(expected["run.stats"])[keep]
+        actual["run.stats"] = np.asarray(actual["run.stats"])[keep]
     if set(expected) != set(actual):
         missing = sorted(set(expected) - set(actual))
         extra = sorted(set(actual) - set(expected))
@@ -380,6 +398,11 @@ def diff_results(
             equal = ef == af
         if bool(np.all(equal)):
             continue
+        if ulp_tol and np.issubdtype(e.dtype, np.floating):
+            bad = np.nonzero(~equal)[0]
+            if all(0 <= ulp_distance(ef[i], af[i]) <= ulp_tol
+                   for i in bad):
+                continue
         idx = int(np.argmin(equal))
         ev, av = ef[idx], af[idx]
         ulp = abs_diff = None

@@ -64,6 +64,7 @@ def advised_config(
         key_estimate=w.key_estimate,
         schema_mergeable=w.schema_mergeable,
         has_vector_path=w.has_vector_path,
+        has_batch_path=w.has_batch_path,
     )
     return Config(
         workload=name,
@@ -71,6 +72,7 @@ def advised_config(
         wire_format=policy.combine.wire_format,
         combine_algorithm=policy.combine.algorithm,
         residency=policy.engine.residency,
+        map_path=policy.engine.map_path,
         num_threads=policy.engine.num_threads,
         vectorized=policy.vectorized,
         ranks=ranks,

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..analytics import (
     GaussianKernelSmoother,
+    GridAggregation,
     Histogram,
     KMeans,
     LogisticRegression,
@@ -60,6 +61,16 @@ class Workload:
     make_extra: Callable[[np.ndarray], Any] | None = None
     out_len: Callable[[int], int] | None = None
     has_vector_path: bool = False
+    #: Whether the analytic implements the batch-map path
+    #: (``make_accumulator`` / ``batch_reduce``) — enables the
+    #: ``map_path=batch`` axis for this workload.
+    has_batch_path: bool = False
+    #: Maximum acceptable ulp distance per output float under
+    #: ``map_path=batch``.  0 demands bit-exactness (the default); a
+    #: positive bound declares a known vector-math deviation (e.g.
+    #: ``np.exp`` vs ``math.exp`` last-ulp drift accumulated over the
+    #: per-key contribution count).
+    batch_ulp: int = 0
     steps_ok: bool = False
     exact_partition: bool = False
     exact_permutation: bool = False
@@ -110,6 +121,15 @@ def _extract_minmax(app, out):
     return {"range": np.array([lo, hi], dtype=np.float64)}
 
 
+def _extract_grid_aggregation(app, out):
+    items = app.combination_map_.sorted_items()
+    return {
+        "keys": np.array([k for k, _ in items], dtype=np.int64),
+        "totals": np.array([o.total for _, o in items], dtype=np.float64),
+        "counts": np.array([o.count for _, o in items], dtype=np.int64),
+    }
+
+
 def _extract_kmeans(app, out):
     return {"centroids": app.centroids()}
 
@@ -148,6 +168,19 @@ _register(Workload(
     exact_merge=True,
     key_estimate=32,
     schema_mergeable=True,
+    has_batch_path=True,
+))
+
+_register(Workload(
+    name="grid_aggregation",
+    factory=lambda args, comm: GridAggregation(args, comm, grid_size=64),
+    extract=_extract_grid_aggregation,
+    description="mean of every 64 consecutive positions (raw sums compared)",
+    default_elements=2048,
+    has_vector_path=True,
+    has_batch_path=True,
+    key_estimate=32,
+    schema_mergeable=True,
 ))
 
 _register(Workload(
@@ -163,6 +196,7 @@ _register(Workload(
     exact_merge=True,
     key_estimate=1,
     schema_mergeable=True,
+    has_batch_path=True,
 ))
 
 _register(Workload(
@@ -200,6 +234,7 @@ _register(Workload(
     multi_key=True,
     default_elements=512,
     has_vector_path=True,
+    has_batch_path=True,
     key_estimate=512,
     schema_mergeable=True,
 ))
@@ -253,6 +288,11 @@ _register(Workload(
     out_len=lambda n: KDE_GRID_POINTS,
     key_estimate=41,
     schema_mergeable=True,
+    has_batch_path=True,
+    # np.exp (batch) vs math.exp (scalar) differ in the last ulp per
+    # kernel term; ~500 samples × ~half the grid in reach accumulate to
+    # a few hundred ulps of worst-case drift per grid-point total.
+    batch_ulp=1024,
 ))
 
 

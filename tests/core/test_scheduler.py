@@ -234,7 +234,9 @@ class TestErrors:
             def accumulate(self, chunk, data, red_obj, key):
                 return None
 
-        with pytest.raises(TypeError, match="RedObj"):
+        # The error names the offending application class and the key,
+        # not just the type contract.
+        with pytest.raises(TypeError, match=r"Broken\.accumulate\(\)"):
             Broken(SchedArgs()).run(np.zeros(1))
 
     def test_convert_required_when_out_given(self):
