@@ -5,6 +5,8 @@ Public surface:
 * :class:`Communicator` — the interface the Smart runtime targets.
 * :class:`LocalComm` — single-rank communicator.
 * :class:`SimCluster` / :class:`SimComm` — N SPMD ranks as threads.
+* :class:`TcpCluster` / :class:`TcpComm` — the same SPMD contract over
+  real framed sockets (CRC-checked, fault-injectable, self-healing).
 * :func:`spmd_launch` — ``mpiexec``-style launcher.
 * :func:`supervised_launch` — the launcher under a recovery policy
   (retry with backoff / degrade by dropping failed ranks).
@@ -16,6 +18,7 @@ from .errors import (
     CommAborted,
     CommError,
     CommTimeoutError,
+    FrameCorruptionError,
     InvalidRankError,
     RankMismatchError,
     SpmdError,
@@ -27,11 +30,13 @@ from .profiler import OpStats, TrafficProfiler, payload_nbytes
 from .reduce_ops import CONCAT, LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp, as_reduce_op
 from .sim import InterleaveSchedule, SimCluster, SimComm
 from .subgroup import UNDEFINED, GroupComm, split_comm
+from .tcp import TcpCluster, TcpComm, TcpRouter
 
 __all__ = [
     "CommAborted",
     "CommError",
     "CommTimeoutError",
+    "FrameCorruptionError",
     "Communicator",
     "Request",
     "InvalidRankError",
@@ -44,6 +49,9 @@ __all__ = [
     "SimCluster",
     "SimComm",
     "SpmdError",
+    "TcpCluster",
+    "TcpComm",
+    "TcpRouter",
     "TrafficProfiler",
     "as_reduce_op",
     "payload_nbytes",

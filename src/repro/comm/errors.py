@@ -17,7 +17,35 @@ class CommAborted(CommError):
 
     Mirrors ``MPI_Abort`` semantics: once any rank calls abort (or dies with
     an exception), all ranks blocked in communication calls raise this.
+
+    When the teardown path knows who started the abort, the origin rides
+    along so :class:`SpmdError` aggregation can point peers' secondary
+    failures at the root cause:
+
+    Attributes
+    ----------
+    origin_rank:
+        The rank whose failure initiated the abort (``None`` when the
+        abort came from outside the rank set, e.g. a watchdog).
+    origin_exc_type:
+        Class name of the originating exception (``None`` if unknown).
     """
+
+    def __init__(
+        self,
+        message: str = "SPMD job aborted",
+        *,
+        origin_rank: int | None = None,
+        origin_exc_type: str | None = None,
+    ):
+        if origin_rank is not None:
+            origin = f"aborted by rank {origin_rank}"
+            if origin_exc_type:
+                origin += f" ({origin_exc_type})"
+            message = f"{message} [{origin}]"
+        super().__init__(message)
+        self.origin_rank = origin_rank
+        self.origin_exc_type = origin_exc_type
 
 
 class CommTimeoutError(CommError):
@@ -28,6 +56,50 @@ class CommTimeoutError(CommError):
     which peers observe once the job is torn down).  Gives supervised
     recovery a precise signal — "this call stalled" — instead of only
     the coarse whole-job barrier timeout.
+
+    Attributes
+    ----------
+    source:
+        Peer rank the stalled call was waiting on (``None`` for
+        collectives, which wait on every rank at once).
+    tag:
+        Message tag of the stalled point-to-point call (``None`` for
+        collectives).
+    deadline_seconds:
+        The per-call deadline that expired.  Supervised recovery and the
+        chaos reports read these attributes instead of parsing the
+        message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: int | None = None,
+        tag: int | None = None,
+        deadline_seconds: float | None = None,
+    ):
+        context = []
+        if source is not None:
+            context.append(f"source={source}")
+        if tag is not None:
+            context.append(f"tag={tag}")
+        if deadline_seconds is not None:
+            context.append(f"deadline={deadline_seconds:g}s")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+        self.source = source
+        self.tag = tag
+        self.deadline_seconds = deadline_seconds
+
+
+class FrameCorruptionError(CommError):
+    """A TCP frame failed its CRC / structural check on receive.
+
+    The framing layer (:mod:`repro.comm.tcp`) detects payload corruption
+    before deserialization; supervised layers react by replaying from
+    the last consistent state instead of folding garbage into a map.
     """
 
 

@@ -36,6 +36,7 @@ def spmd_launch(
     deadline: float | None = None,
     fault_plan: "FaultPlan | None" = None,
     interleave=None,
+    comm_backend: str = "sim",
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``n_ranks`` SPMD ranks; return rank results.
 
@@ -66,7 +67,14 @@ def spmd_launch(
         Optional :class:`~repro.comm.sim.InterleaveSchedule` installed
         on the cluster: deterministic seeded jitter before every
         communication call (the conformance fuzzer's hook).  Ignored
-        for single-rank runs.
+        for single-rank runs and for the TCP backend.
+    comm_backend:
+        ``"sim"`` (default) runs ranks as threads over a
+        :class:`~repro.comm.sim.SimCluster`; ``"tcp"`` routes every
+        communication call through a real socket hub
+        (:class:`~repro.comm.tcp.TcpCluster`), including for
+        ``n_ranks == 1`` (no :class:`LocalComm` short-circuit), so the
+        wire path itself is exercised.
 
     Raises
     ------
@@ -80,20 +88,33 @@ def spmd_launch(
         raise ValueError(
             f"args_per_rank has {len(args_per_rank)} entries for {n_ranks} ranks"
         )
+    if comm_backend not in ("sim", "tcp"):
+        raise ValueError(f"unknown comm_backend {comm_backend!r} (want 'sim' or 'tcp')")
 
-    if n_ranks == 1:
+    if n_ranks == 1 and comm_backend == "sim":
         comm: Communicator = LocalComm(profiler=profiler)
         args = args_per_rank[0] if args_per_rank else ()
         return [fn(comm, *args)]
 
-    cluster = SimCluster(
-        n_ranks,
-        profiler=profiler,
-        timeout=timeout,
-        deadline=deadline,
-        fault_plan=fault_plan,
-        interleave=interleave,
-    )
+    if comm_backend == "tcp":
+        from .tcp import TcpCluster  # deferred: sockets only when asked for
+
+        cluster: Any = TcpCluster(
+            n_ranks,
+            profiler=profiler,
+            timeout=timeout,
+            deadline=deadline,
+            fault_plan=fault_plan,
+        )
+    else:
+        cluster = SimCluster(
+            n_ranks,
+            profiler=profiler,
+            timeout=timeout,
+            deadline=deadline,
+            fault_plan=fault_plan,
+            interleave=interleave,
+        )
     results: list[Any] = [None] * n_ranks
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
@@ -106,16 +127,25 @@ def spmd_launch(
         except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
             with failures_lock:
                 failures[rank] = exc
-            cluster.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+            cluster.abort(
+                f"rank {rank} raised {type(exc).__name__}: {exc}",
+                origin_rank=rank,
+                origin_exc_type=type(exc).__name__,
+            )
 
     threads = [
         threading.Thread(target=body, args=(r,), name=f"spmd-rank-{r}", daemon=True)
         for r in range(n_ranks)
     ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        close = getattr(cluster, "close", None)
+        if close is not None:
+            close()
 
     if failures:
         primary = {
@@ -153,7 +183,9 @@ def supervised_launch(
     Every detection/recovery is surfaced on ``telemetry`` (when given):
     ``faults.launch_failures``, ``faults.retries``,
     ``faults.ranks_dropped`` counters and the ``faults.recovery_seconds``
-    timer (failure detection to successful relaunch).
+    and ``faults.backoff_seconds`` timers (failure detection to
+    successful relaunch, and the seeded backoff delays actually slept —
+    see :func:`~repro.faults.seeded_backoff`).
 
     Returns the per-rank results of the first successful launch (under
     ``degrade``, results of the surviving ranks in their original rank
@@ -200,7 +232,10 @@ def supervised_launch(
                     raise
                 if telemetry is not None:
                     telemetry.inc("faults.retries")
-                time.sleep(policy.backoff_for(attempt))
+                delay = policy.backoff_for(attempt)
+                if telemetry is not None:
+                    telemetry.add_time("faults.backoff_seconds", delay)
+                time.sleep(delay)
                 attempt += 1
                 continue
             # degrade: drop the failed ranks' partitions and relaunch (a

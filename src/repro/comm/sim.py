@@ -66,11 +66,21 @@ class _Context:
         self.mail_cond = threading.Condition()
         self.aborted = False
         self.abort_reason: str | None = None
+        self.abort_origin_rank: int | None = None
+        self.abort_origin_exc_type: str | None = None
 
-    def abort(self, reason: str) -> None:
+    def abort(
+        self,
+        reason: str,
+        *,
+        origin_rank: int | None = None,
+        origin_exc_type: str | None = None,
+    ) -> None:
         self.aborted = True
         if self.abort_reason is None:
             self.abort_reason = reason
+            self.abort_origin_rank = origin_rank
+            self.abort_origin_exc_type = origin_exc_type
         self.enter.abort()
         self.leave.abort()
         with self.mail_cond:
@@ -78,7 +88,11 @@ class _Context:
 
     def check_abort(self) -> None:
         if self.aborted:
-            raise CommAborted(self.abort_reason or "SPMD job aborted")
+            raise CommAborted(
+                self.abort_reason or "SPMD job aborted",
+                origin_rank=self.abort_origin_rank,
+                origin_exc_type=self.abort_origin_exc_type,
+            )
 
     def wait(self, barrier: threading.Barrier) -> None:
         self.check_abort()
@@ -92,11 +106,16 @@ class _Context:
                 # still tears the context down so peers unblock).
                 self.abort(f"collective exceeded the {effective}s call deadline")
                 raise CommTimeoutError(
-                    f"collective exceeded the {effective}s call deadline"
+                    f"collective exceeded the {effective}s call deadline",
+                    deadline_seconds=effective,
                 ) from None
             if not self.aborted:
                 self.abort(f"collective timed out after {self.timeout}s")
-            raise CommAborted(self.abort_reason or "barrier broken") from None
+            raise CommAborted(
+                self.abort_reason or "barrier broken",
+                origin_rank=self.abort_origin_rank,
+                origin_exc_type=self.abort_origin_exc_type,
+            ) from None
         self.check_abort()
 
 
@@ -227,12 +246,24 @@ class SimCluster:
             self._contexts.append(ctx)
         return ctx
 
-    def abort(self, reason: str = "aborted") -> None:
-        """Abort every context: all blocked ranks raise :class:`CommAborted`."""
+    def abort(
+        self,
+        reason: str = "aborted",
+        *,
+        origin_rank: int | None = None,
+        origin_exc_type: str | None = None,
+    ) -> None:
+        """Abort every context: all blocked ranks raise :class:`CommAborted`.
+
+        ``origin_rank``/``origin_exc_type`` identify the failure that
+        initiated the abort; peers' :class:`CommAborted` carry them so
+        :class:`~repro.comm.errors.SpmdError` aggregation points at the
+        root cause instead of a wall of secondary aborts.
+        """
         with self._ctx_lock:
             contexts = list(self._contexts)
         for ctx in contexts:
-            ctx.abort(reason)
+            ctx.abort(reason, origin_rank=origin_rank, origin_exc_type=origin_exc_type)
 
 
 class SimComm(Communicator):
@@ -316,7 +347,12 @@ class SimComm(Communicator):
                             f"{deadline}s call deadline on rank {self._rank}"
                         )
                         ctx.abort(reason)
-                        raise CommTimeoutError(reason)
+                        raise CommTimeoutError(
+                            reason,
+                            source=source,
+                            tag=tag,
+                            deadline_seconds=deadline,
+                        )
                     if elapsed >= ctx.timeout:
                         ctx.abort(
                             f"recv(source={source}, tag={tag}) timed out on rank {self._rank}"

@@ -24,6 +24,7 @@ from .engine import (
     ThreadEngine,
     create_engine,
 )
+from .elastic import ElasticTier, StagingWorkerError
 from .in_transit import InTransitDriver, Placement, split_staging_comm
 from .circular_buffer import BufferClosed, CircularBuffer
 from .maps import KeyedMap
@@ -108,6 +109,8 @@ __all__ = [
     "TimeSharingResult",
     "deserialize_map",
     "ensure_red_obj",
+    "ElasticTier",
+    "StagingWorkerError",
     "InTransitDriver",
     "Placement",
     "split_staging_comm",

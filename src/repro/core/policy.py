@@ -120,6 +120,12 @@ def fault_fingerprint(policy: FaultPolicy) -> str:
         parts.append(f"backoff={policy.backoff:g}")
     if policy.backoff_factor != _FAULT_DEFAULT.backoff_factor:
         parts.append(f"factor={policy.backoff_factor:g}")
+    if policy.backoff_cap != _FAULT_DEFAULT.backoff_cap:
+        parts.append(f"cap={policy.backoff_cap:g}")
+    if policy.backoff_jitter != _FAULT_DEFAULT.backoff_jitter:
+        parts.append(f"jitter={policy.backoff_jitter:g}")
+    if policy.backoff_seed != _FAULT_DEFAULT.backoff_seed:
+        parts.append(f"bseed={policy.backoff_seed}")
     if policy.task_deadline is not None:
         parts.append(f"deadline={policy.task_deadline:g}")
     return ":".join(parts)
@@ -133,6 +139,9 @@ def parse_fault(token: str) -> FaultPolicy:
         "attempts": ("max_attempts", int),
         "backoff": ("backoff", float),
         "factor": ("backoff_factor", float),
+        "cap": ("backoff_cap", float),
+        "jitter": ("backoff_jitter", float),
+        "bseed": ("backoff_seed", int),
         "deadline": ("task_deadline", float),
     }
     for part in rest:

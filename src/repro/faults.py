@@ -54,13 +54,17 @@ from typing import Any
 import numpy as np
 
 #: Layers a :class:`FaultSpec` may target.
-FAULT_LAYERS = ("comm", "engine", "storage")
+FAULT_LAYERS = ("comm", "engine", "storage", "network")
 
 #: Fault kinds per layer.
 FAULT_KINDS = {
     "comm": ("delay", "drop", "crash"),
     "engine": ("kill", "hang"),
     "storage": ("truncate", "bitflip"),
+    # Wire-level faults threaded through the TCP backend and the elastic
+    # staging tier: a closed connection, a per-frame latency injection,
+    # a CRC-detectable frame corruption, and a timed network partition.
+    "network": ("disconnect", "slowlink", "truncate", "partition"),
 }
 
 #: Policy modes accepted by :class:`FaultPolicy` / ``SchedArgs``.
@@ -270,6 +274,42 @@ class FaultPlan:
         """Consulted by ``save_checkpoint`` per save call."""
         return self._fire("storage", "saves", target=None, op=None)
 
+    def network_fault(self, rank: int, op: str) -> FaultSpec | None:
+        """Consulted by the TCP layer per frame event.
+
+        Call sites: the router consults it with ``op="forward"`` per
+        routed data frame; elastic staging workers consult it with
+        ``op="frame"`` per received step frame.  Counters are per rank /
+        worker id, so ``at_call`` addresses a deterministic point in
+        that peer's frame sequence.
+        """
+        return self._fire("network", rank, target=rank, op=op)
+
+    def charge(self, n: int, *, target: int | None = None) -> int:
+        """Pre-mark ``n`` firings against matching specs, in spec order.
+
+        Recovery replay support: when a supervised site is respawned
+        after an injected death, it re-parses the plan fingerprint with
+        fresh counters — charging its prior firings first keeps the
+        plan's per-site fault budget global across incarnations, so a
+        replay does not re-suffer a fault it already paid for.  Returns
+        the number of firings actually charged (capped by each matching
+        spec's remaining ``times``).
+        """
+        charged = 0
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if charged >= n:
+                    break
+                if (target is not None and spec.target is not None
+                        and spec.target != target):
+                    continue
+                take = min(n - charged, spec.times - self._fired[i])
+                if take > 0:
+                    self._fired[i] += take
+                    charged += take
+        return charged
+
     def call_count(self, layer: str, site: Any) -> int:
         """How many calls the plan has observed at ``(layer, site)``."""
         with self._lock:
@@ -319,6 +359,46 @@ class FaultPlan:
         raise ValueError(f"unknown storage corruption {kind!r}")
 
 
+def _mix64(*parts: int) -> int:
+    """splitmix64-style avalanche over the concatenated inputs."""
+    mask = (1 << 64) - 1
+    x = 0x9E3779B97F4A7C15
+    for part in parts:
+        x = (x + (int(part) & mask) + 0x9E3779B97F4A7C15) & mask
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & mask
+        x ^= x >> 31
+    return x
+
+
+def seeded_backoff(
+    attempt: int,
+    *,
+    base: float,
+    factor: float = 2.0,
+    cap: float = float("inf"),
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> float:
+    """Backoff seconds before retry ``attempt`` (1-based), deterministic.
+
+    Capped exponential (``min(base * factor**(attempt-1), cap)``) with
+    seeded jitter: the delay is scaled by a factor in ``[1-jitter,
+    1+jitter)`` drawn from a pure integer mix of ``(seed, attempt)`` —
+    no global RNG state, so the same seed replays the exact same
+    schedule.  Used by :meth:`FaultPolicy.backoff_for` and the TCP
+    backend's connect/send retry, so every retry loop in the system
+    shares one backoff law.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    delay = min(base * factor ** (attempt - 1), cap)
+    if jitter:
+        unit = (_mix64(seed, attempt) & 0xFFFFFF) / float(1 << 24)  # [0, 1)
+        delay *= 1.0 + jitter * (2.0 * unit - 1.0)
+    return max(delay, 0.0)
+
+
 @dataclass(frozen=True)
 class FaultPolicy:
     """How the runtime reacts to a detected fault.
@@ -335,6 +415,14 @@ class FaultPolicy:
     backoff: float = 0.05
     #: Multiplier applied per subsequent retry (exponential backoff).
     backoff_factor: float = 2.0
+    #: Ceiling on any single backoff delay (seconds).
+    backoff_cap: float = 2.0
+    #: Jitter fraction in ``[0, 1]``: each delay is scaled by a
+    #: seed-deterministic factor in ``[1-jitter, 1+jitter)``.  0 (the
+    #: default) keeps the schedule exactly exponential.
+    backoff_jitter: float = 0.0
+    #: Seed for the jitter draws (pure function of ``(seed, attempt)``).
+    backoff_seed: int = 0
     #: Seconds a dispatched engine task may run before the supervisor
     #: declares the worker hung.  ``None`` disables hang detection.
     task_deadline: float | None = None
@@ -347,6 +435,12 @@ class FaultPolicy:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
         if self.task_deadline is not None and self.task_deadline <= 0:
             raise ValueError(f"task_deadline must be positive, got {self.task_deadline}")
 
@@ -362,12 +456,18 @@ class FaultPolicy:
         backoff: float = 0.05,
         backoff_factor: float = 2.0,
         task_deadline: float | None = None,
+        backoff_cap: float = 2.0,
+        backoff_jitter: float = 0.0,
+        backoff_seed: int = 0,
     ) -> "FaultPolicy":
         return cls(
             mode="retry",
             max_attempts=max_attempts,
             backoff=backoff,
             backoff_factor=backoff_factor,
+            backoff_cap=backoff_cap,
+            backoff_jitter=backoff_jitter,
+            backoff_seed=backoff_seed,
             task_deadline=task_deadline,
         )
 
@@ -390,8 +490,20 @@ class FaultPolicy:
         raise TypeError(f"fault_policy must be a str or FaultPolicy, got {type(value).__name__}")
 
     def backoff_for(self, attempt: int) -> float:
-        """Backoff seconds before retry number ``attempt`` (1-based)."""
-        return self.backoff * self.backoff_factor ** max(attempt - 1, 0)
+        """Backoff seconds before retry number ``attempt`` (1-based).
+
+        Capped exponential with seed-deterministic jitter (see
+        :func:`seeded_backoff`); the schedule is a pure function of the
+        policy fields, so recovery runs replay identically.
+        """
+        return seeded_backoff(
+            max(attempt, 1),
+            base=self.backoff,
+            factor=self.backoff_factor,
+            cap=self.backoff_cap,
+            jitter=self.backoff_jitter,
+            seed=self.backoff_seed,
+        )
 
 
 __all__ = [
@@ -405,4 +517,5 @@ __all__ = [
     "FaultSpec",
     "Injection",
     "InjectedRankCrash",
+    "seeded_backoff",
 ]

@@ -56,7 +56,7 @@ STRUCTURE_AXES = (
 # ``map_path=batch``.
 TRANSPARENT_AXES = (
     "engine", "wire_format", "combine_algorithm", "residency", "fault",
-    "driver", "map_path",
+    "driver", "map_path", "comm",
 )
 
 _ORACLE_VALUES = {
@@ -70,6 +70,7 @@ _ORACLE_VALUES = {
     # ``vectorized`` (auto resolves to scalar whenever vectorized is
     # False, which it always is for a forced map_path — see is_valid).
     "map_path": "auto",
+    "comm": "inproc",
 }
 
 # Short keys used in fingerprints / --config tokens.
@@ -82,6 +83,7 @@ _SHORT = {
     "fault": "fault",
     "driver": "driver",
     "map_path": "map",
+    "comm": "comm",
     "num_threads": "threads",
     "block_size": "block",
     "vectorized": "vec",
@@ -106,6 +108,7 @@ class Config:
     fault: str = "none"
     driver: str = "direct"
     map_path: str = "auto"
+    comm: str = "inproc"
     num_threads: int = 1
     block_size: int = 0  # 0 = whole partition in one block
     vectorized: bool = False
@@ -201,6 +204,11 @@ class Config:
                 f"driver must be one of {axis_values()['driver']}, "
                 f"got {self.driver!r}"
             )
+        if self.comm not in axis_values()["comm"]:
+            raise ValueError(
+                f"comm must be one of {axis_values()['comm']}, "
+                f"got {self.comm!r}"
+            )
 
     @property
     def is_oracle(self) -> bool:
@@ -221,6 +229,11 @@ def axis_values(smoke: bool = True) -> dict[str, tuple]:
         "residency": RESIDENCY_MODES,
         "fault": ("none", "engine-kill", "comm-delay"),
         "driver": ("direct", "pipelined"),
+        # Transport under the SPMD ranks: in-process mailboxes (the sim
+        # backend / LocalComm) or real framed TCP sockets.  The wire is
+        # transparent: pickled frames must reproduce the in-process
+        # result bit-exactly.
+        "comm": ("inproc", "tcp"),
         # "vector" is deliberately absent: forcing the vector path is
         # covered by the (structural) ``vectorized`` axis, and the full
         # matrix's explicit "scalar" only documents that forcing the
@@ -265,6 +278,13 @@ def is_valid(config: Config, smoke: bool = True) -> bool:
         return False
     if config.residency == "off" and config.engine != "process":
         return False
+    if config.comm == "tcp":
+        # The wire path composes with in-rank engines but not with a
+        # process pool per rank (fd inheritance across fork would pin
+        # router sockets) and not with the step-pipelined driver (which
+        # is single-rank in-process by construction).
+        if config.engine == "process" or config.driver != "direct":
+            return False
     if smoke and config.ranks > 1 and config.engine == "process":
         # Process pools per simulated rank are heavyweight; the full
         # matrix covers this corner, the smoke matrix skips it.
@@ -373,6 +393,23 @@ def build_matrix(
             if is_valid(cfg, smoke=smoke) and cfg not in seen:
                 seen.add(cfg)
                 chosen.append(cfg)
+        # The smoke gate requires >= 2 comm=tcp configs among the first
+        # min_configs, so every smoke invocation exercises the wire
+        # path.  Promote-or-pad deterministically at the front (front
+        # insertion survives any max_configs truncation).
+        head_tcp = [c for c in chosen[:min_configs] if c.comm == "tcp"]
+        if len(head_tcp) < 2:
+            for ranks in (1, 2):
+                if len(head_tcp) >= 2:
+                    break
+                pad = Config(workload=names[0], comm="tcp", ranks=ranks,
+                             seed=seed)
+                if not is_valid(pad, smoke=smoke):
+                    continue
+                if pad in chosen:
+                    chosen.remove(pad)
+                chosen.insert(0, pad)
+                head_tcp.append(pad)
     if max_configs is not None:
         chosen = chosen[:max_configs]
     return chosen

@@ -235,11 +235,18 @@ def execute(
     if comm_plan is None:
         comm_plan = default_comm_plan
     args = _exec_policy(w, config, data, fault_policy)
-    if config.ranks == 1:
+    comm_backend = getattr(config, "comm", "inproc")
+    if config.ranks == 1 and comm_backend == "inproc":
         return _execute_single(w, config, args, data, engine_plan,
                                adaptor_factory)
+    # comm=tcp forces the SPMD path even for a single rank: the whole
+    # point of the axis is to push every communication call through the
+    # framed-socket wire path and diff it bit-exact against the in-proc
+    # oracle.
     return _execute_spmd(w, config, args, data, engine_plan, comm_plan,
-                         interleave, adaptor_factory)
+                         interleave, adaptor_factory,
+                         comm_backend="tcp" if comm_backend == "tcp"
+                         else "sim")
 
 
 def _finish(workload: Workload, config: Config, result: dict,
@@ -281,7 +288,8 @@ def _execute_single(workload: Workload, config: Config,
 
 def _execute_spmd(workload: Workload, config: Config, args: ExecutionPolicy,
                   data: np.ndarray, engine_plan, comm_plan,
-                  interleave, adaptor_factory=None) -> RunInfo:
+                  interleave, adaptor_factory=None,
+                  comm_backend: str = "sim") -> RunInfo:
     ranks = config.ranks
     rows = len(data) // workload.chunk_size
     sizes = [rows // ranks + (1 if r < rows % ranks else 0)
@@ -311,7 +319,8 @@ def _execute_spmd(workload: Workload, config: Config, args: ExecutionPolicy,
         return result, counters
 
     rank_returns = spmd_launch(ranks, body, fault_plan=comm_plan,
-                               interleave=interleave, timeout=SPMD_TIMEOUT)
+                               interleave=interleave, timeout=SPMD_TIMEOUT,
+                               comm_backend=comm_backend)
     results = [r for r, _ in rank_returns]
     base = results[0]
     for rank, other in enumerate(results[1:], start=1):

@@ -1,0 +1,202 @@
+"""Communicator contract, parameterized over every backend.
+
+One suite, three implementations: the same SPMD bodies run over
+``LocalComm`` (single rank), ``SimCluster`` threads, and ``TcpCluster``
+framed sockets, and must observe identical semantics — that equivalence
+is what lets the conformance matrix treat ``comm`` as a transparent
+axis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import InvalidRankError, LocalComm, spmd_launch, split_comm
+
+# Budget for jobs that should complete nearly instantly; an order of
+# magnitude of headroom over the slowest observed run.
+FAST_JOB_TIMEOUT = 30.0
+
+#: (backend, n_ranks) cells: local is single-rank by definition; the
+#: SPMD backends run the same bodies at 1 and several ranks.
+CELLS = [
+    ("local", 1),
+    ("sim", 1),
+    ("sim", 4),
+    ("tcp", 1),
+    ("tcp", 3),
+]
+
+
+def launch(backend, n, fn):
+    if backend == "local":
+        assert n == 1
+        return [fn(LocalComm())]
+    return spmd_launch(n, fn, timeout=FAST_JOB_TIMEOUT, comm_backend=backend)
+
+
+@pytest.mark.parametrize("backend,n", CELLS)
+class TestContract:
+    def test_rank_and_size(self, backend, n):
+        results = launch(backend, n, lambda c: (c.rank, c.size, c.is_master))
+        assert results == [(r, n, r == 0) for r in range(n)]
+
+    def test_self_send_recv(self, backend, n):
+        def body(c):
+            c.send({"rank": c.rank}, dest=c.rank, tag=5)
+            return c.recv(source=c.rank, tag=5)
+
+        assert launch(backend, n, body) == [{"rank": r} for r in range(n)]
+
+    def test_ring_sendrecv(self, backend, n):
+        def body(c):
+            right = (c.rank + 1) % c.size
+            left = (c.rank - 1) % c.size
+            return c.sendrecv(c.rank * 10, dest=right, source=left,
+                              sendtag=2, recvtag=2)
+
+        results = launch(backend, n, body)
+        assert results == [((r - 1) % n) * 10 for r in range(n)]
+
+    def test_isend_irecv(self, backend, n):
+        def body(c):
+            req = c.isend(c.rank + 100, dest=(c.rank + 1) % c.size, tag=3)
+            got = c.irecv(source=(c.rank - 1) % c.size, tag=3).wait()
+            req.wait()
+            return got
+
+        results = launch(backend, n, body)
+        assert results == [((r - 1) % n) + 100 for r in range(n)]
+
+    def test_tag_isolation(self, backend, n):
+        """Messages on different tags do not overtake each other."""
+
+        def body(c):
+            c.send("a", dest=c.rank, tag=1)
+            c.send("b", dest=c.rank, tag=2)
+            return (c.recv(source=c.rank, tag=2), c.recv(source=c.rank, tag=1))
+
+        assert launch(backend, n, body) == [("b", "a")] * n
+
+    def test_sent_objects_are_private_copies(self, backend, n):
+        """Mutating an object after send must not affect the receiver."""
+
+        def body(c):
+            arr = np.zeros(3)
+            c.send(arr, dest=c.rank, tag=7)
+            arr += 99
+            return float(c.recv(source=c.rank, tag=7).sum())
+
+        assert launch(backend, n, body) == [0.0] * n
+
+    def test_barrier(self, backend, n):
+        assert launch(backend, n, lambda c: c.barrier()) == [None] * n
+
+    def test_bcast(self, backend, n):
+        def body(c):
+            return c.bcast({"v": 7} if c.is_master else None)
+
+        assert launch(backend, n, body) == [{"v": 7}] * n
+
+    def test_gather_rank_order(self, backend, n):
+        results = launch(backend, n, lambda c: c.gather(c.rank * 10))
+        assert results[0] == [r * 10 for r in range(n)]
+        assert all(r is None for r in results[1:])
+
+    def test_allgather(self, backend, n):
+        results = launch(backend, n, lambda c: c.allgather(c.rank))
+        assert results == [list(range(n))] * n
+
+    def test_scatter(self, backend, n):
+        def body(c):
+            objs = [i * 2 for i in range(c.size)] if c.is_master else None
+            return c.scatter(objs)
+
+        assert launch(backend, n, body) == [r * 2 for r in range(n)]
+
+    def test_alltoall(self, backend, n):
+        def body(c):
+            return c.alltoall([c.rank * 100 + d for d in range(c.size)])
+
+        results = launch(backend, n, body)
+        assert results == [[s * 100 + r for s in range(n)] for r in range(n)]
+
+    def test_reduce_and_allreduce(self, backend, n):
+        def body(c):
+            total = c.allreduce(c.rank + 1)
+            rooted = c.reduce(c.rank + 1)
+            return total, rooted
+
+        results = launch(backend, n, body)
+        expect = n * (n + 1) // 2
+        assert [t for t, _ in results] == [expect] * n
+        assert results[0][1] == expect
+        assert all(r is None for _, r in results[1:])
+
+    def test_allreduce_max(self, backend, n):
+        results = launch(backend, n, lambda c: c.allreduce(c.rank, op="max"))
+        assert results == [n - 1] * n
+
+    def test_buffer_allreduce(self, backend, n):
+        def body(c):
+            send = np.full(4, float(c.rank + 1))
+            recv = np.empty(4)
+            c.Allreduce(send, recv)
+            return recv.tolist()
+
+        expect = [float(n * (n + 1) // 2)] * 4
+        assert launch(backend, n, body) == [expect] * n
+
+    def test_dup_isolates_traffic(self, backend, n):
+        """A dup'd communicator must not see the parent's messages."""
+
+        def body(c):
+            c2 = c.dup()
+            c.send("world", dest=c.rank, tag=4)
+            c2.send("dup", dest=c.rank, tag=4)
+            return (c.recv(source=c.rank, tag=4), c2.recv(source=c.rank, tag=4))
+
+        assert launch(backend, n, body) == [("world", "dup")] * n
+
+    def test_invalid_rank_raises(self, backend, n):
+        def body(c):
+            try:
+                c.send("x", dest=c.size)
+            except InvalidRankError:
+                return "raised"
+            return "accepted"
+
+        assert launch(backend, n, body) == ["raised"] * n
+
+
+@pytest.mark.parametrize("backend", ["sim", "tcp"])
+class TestSpmdOnly:
+    """Contracts that need real peers (size > 1 SPMD backends only)."""
+
+    def test_p2p_between_ranks(self, backend):
+        def body(c):
+            if c.rank == 0:
+                c.send([1, 2, 3], dest=1, tag=11)
+                return None
+            return c.recv(source=0, tag=11)
+
+        assert launch(backend, 2, body) == [None, [1, 2, 3]]
+
+    def test_subgroup_split(self, backend):
+        """split_comm composes over any backend's world communicator."""
+
+        def body(c):
+            sub = split_comm(c, color=c.rank % 2, key=c.rank)
+            return sub.allreduce(c.rank)
+
+        results = launch(backend, 4, body)
+        assert results == [2, 4, 2, 4]  # evens {0,2}, odds {1,3}
+
+    def test_nonblocking_exchange(self, backend):
+        def body(c):
+            peer = 1 - c.rank
+            req = c.isend(f"from-{c.rank}", dest=peer, tag=6)
+            got = c.irecv(source=peer, tag=6).wait()
+            req.wait()
+            return got
+
+        assert launch(backend, 2, body) == ["from-1", "from-0"]

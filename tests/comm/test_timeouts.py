@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.comm import SpmdError, spmd_launch
+from repro.comm import CommTimeoutError, SpmdError, spmd_launch
 
 # Time a deliberately wedged collective waits before the watchdog fires.
 # Generous relative to any scheduler hiccup: these tests assert *that*
@@ -49,3 +49,23 @@ class TestCollectiveTimeout:
     def test_fast_jobs_unaffected_by_short_timeout(self):
         results = spmd_launch(3, lambda c: c.allreduce(1), timeout=FAST_JOB_TIMEOUT)
         assert results == [3, 3, 3]
+
+
+class TestDeadlineContext:
+    def test_deadline_error_carries_structured_context(self):
+        """The starved call's identity survives as attributes, not just
+        message text: source, tag, and the deadline that expired."""
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=17)  # nobody sends
+            # rank 1 exits immediately
+
+        with pytest.raises(SpmdError) as exc_info:
+            spmd_launch(2, body, deadline=0.2, timeout=STALL_TIMEOUT)
+        failure = exc_info.value.first_failure
+        assert isinstance(failure, CommTimeoutError)
+        assert failure.source == 1
+        assert failure.tag == 17
+        assert failure.deadline_seconds == pytest.approx(0.2)
+        assert "source=1" in str(failure) and "tag=17" in str(failure)

@@ -1,0 +1,263 @@
+"""Elastic in-transit tier: supervised staging workers over TCP frames.
+
+Covers the recovery state machine end to end with real forked worker
+processes: retry recovers bit-exactly from kills, hangs, and
+disconnects; degrade conserves mass with exact loss accounting;
+``scale_to`` grows and shrinks the pool without changing the result; a
+corrupted snapshot falls back to the previous CRC-good one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.histogram import Histogram
+from repro.core import ElasticTier, SchedArgs, StagingWorkerError
+from repro.faults import FaultPlan, FaultPolicy, FaultSpec
+from repro.telemetry import Recorder
+
+SEED = 2015
+BUCKETS = 16
+N_POINTS = 6_000
+N_PARTS = 12
+
+# Window without ack progress before a worker is declared suspect; kept
+# tight so hang-recovery tests finish quickly, but an order of magnitude
+# above a healthy frame's processing time.
+SUSPECT_TIMEOUT = 1.0
+
+# A hang injection longer than any test's total runtime: recovery must
+# come from supervision, never from the sleep expiring.
+HANG_SECONDS = 60.0
+
+
+def factory():
+    return Histogram(SchedArgs(num_threads=1), None,
+                     lo=-4.0, hi=4.0, num_buckets=BUCKETS)
+
+
+def counts(result) -> np.ndarray:
+    return np.array([obj.count for _, obj in result.sorted_items()],
+                    dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def partitions():
+    rng = np.random.default_rng(SEED)
+    points = rng.normal(size=N_POINTS)
+    return [np.ascontiguousarray(p) for p in np.array_split(points, N_PARTS)]
+
+
+@pytest.fixture(scope="module")
+def baseline(partitions):
+    sched = factory()
+    sched.set_global_combination(False)
+    with sched:
+        for part in partitions:
+            sched.run(part)
+        return counts(sched.get_combination_map())
+
+
+def run_tier(partitions, workers=3, **kw):
+    kw.setdefault("worker_timeout", SUSPECT_TIMEOUT)
+    with ElasticTier(factory, workers, **kw) as tier:
+        for part in partitions:
+            tier.submit(part)
+        return counts(tier.drain())
+
+
+class TestHealthy:
+    def test_matches_local_run_bit_exact(self, partitions, baseline):
+        telemetry = Recorder()
+        result = run_tier(partitions, telemetry=telemetry)
+        assert np.array_equal(result, baseline)
+        snap = telemetry.snapshot()["counters"]
+        assert snap["elastic.frames_forwarded"] == N_PARTS
+        assert "faults.retries" not in snap
+
+    def test_single_worker(self, partitions, baseline):
+        assert np.array_equal(run_tier(partitions, workers=1), baseline)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ElasticTier(factory, 0)
+
+
+class TestRetry:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec("comm", "crash", at_call=3, target=1),
+            FaultSpec("comm", "delay", at_call=3, target=1,
+                      seconds=HANG_SECONDS),
+            FaultSpec("network", "disconnect", at_call=3, target=1),
+        ],
+        ids=["kill", "hang", "disconnect"],
+    )
+    def test_recovers_bit_exact(self, partitions, baseline, spec):
+        """Respawn + snapshot restore + ordered replay reproduces the
+        unfaulted result bit-for-bit, whatever killed the worker."""
+        telemetry = Recorder()
+        result = run_tier(
+            partitions,
+            policy=FaultPolicy.retry(backoff=0.01, max_attempts=5),
+            fault_plan=FaultPlan([spec], seed=SEED),
+            telemetry=telemetry,
+        )
+        assert np.array_equal(result, baseline)
+        snap = telemetry.snapshot()["counters"]
+        assert snap.get("faults.retries", 0) >= 1
+        assert snap.get("elastic.replays", 0) >= 1
+
+    def test_hang_detected_by_ack_stall_not_sleep(self, partitions, baseline):
+        """A hung worker's heartbeat thread keeps beating; detection must
+        come from acknowledgement stall, well before the injected sleep
+        would ever expire."""
+        import time
+
+        telemetry = Recorder()
+        t0 = time.perf_counter()
+        result = run_tier(
+            partitions,
+            policy=FaultPolicy.retry(backoff=0.01, max_attempts=5),
+            fault_plan=FaultPlan(
+                [FaultSpec("comm", "delay", at_call=3, target=1,
+                           seconds=HANG_SECONDS)],
+                seed=SEED,
+            ),
+            telemetry=telemetry,
+        )
+        elapsed = time.perf_counter() - t0
+        assert np.array_equal(result, baseline)
+        assert elapsed < HANG_SECONDS / 2, (
+            "recovery must be driven by supervision, not the sleep ending")
+
+    def test_exhausted_attempts_raise(self, partitions):
+        """A worker that dies on every incarnation (times > attempts)
+        eventually exhausts the retry budget."""
+        plan = FaultPlan(
+            [FaultSpec("comm", "crash", at_call=0, target=0, times=50)],
+            seed=SEED,
+        )
+        with pytest.raises(StagingWorkerError):
+            run_tier(
+                partitions,
+                workers=1,
+                policy=FaultPolicy.retry(backoff=0.01, max_attempts=3),
+                fault_plan=plan,
+            )
+
+    def test_fail_fast_raises(self, partitions):
+        with pytest.raises(StagingWorkerError):
+            run_tier(
+                partitions,
+                policy="fail_fast",
+                fault_plan=FaultPlan(
+                    [FaultSpec("comm", "crash", at_call=3, target=1)],
+                    seed=SEED,
+                ),
+            )
+
+
+class TestDegrade:
+    def test_mass_conserved_exactly(self, partitions, baseline):
+        """The dead worker's last snapshot stands; every dropped element
+        is accounted for in elastic.elements_lost."""
+        telemetry = Recorder()
+        result = run_tier(
+            partitions,
+            policy=FaultPolicy.degrade(),
+            fault_plan=FaultPlan(
+                [FaultSpec("comm", "crash", at_call=3, target=1)], seed=SEED
+            ),
+            telemetry=telemetry,
+        )
+        snap = telemetry.snapshot()["counters"]
+        lost = snap.get("elastic.elements_lost", 0)
+        assert lost > 0
+        assert int(result.sum()) + lost == int(baseline.sum())
+        assert snap.get("elastic.workers_dropped") == 1
+
+    def test_all_workers_lost_raises(self, partitions):
+        plan = FaultPlan(
+            [FaultSpec("comm", "crash", at_call=0, target=0)], seed=SEED
+        )
+        with pytest.raises(StagingWorkerError):
+            run_tier(partitions, workers=1, policy=FaultPolicy.degrade(),
+                     fault_plan=plan)
+
+
+class TestElasticity:
+    def test_scale_up_and_down_bit_exact(self, partitions, baseline):
+        telemetry = Recorder()
+        with ElasticTier(factory, 2, telemetry=telemetry,
+                         worker_timeout=SUSPECT_TIMEOUT) as tier:
+            third = N_PARTS // 3
+            for part in partitions[:third]:
+                tier.submit(part)
+            tier.scale_to(4)
+            for part in partitions[third: 2 * third]:
+                tier.submit(part)
+            tier.scale_to(2)  # retired workers drain their maps first
+            for part in partitions[2 * third:]:
+                tier.submit(part)
+            result = counts(tier.drain())
+        assert np.array_equal(result, baseline)
+        snap = telemetry.snapshot()["counters"]
+        assert snap.get("elastic.spawns") == 4
+
+    def test_scale_to_rejects_zero(self, partitions):
+        with ElasticTier(factory, 1) as tier:
+            with pytest.raises(ValueError):
+                tier.scale_to(0)
+
+
+class TestSnapshots:
+    def test_corrupt_snapshot_falls_back(self, partitions, baseline):
+        """network:truncate garbles one snapshot frame; the coordinator
+        discards it on CRC and recovery replays from the older one —
+        still bit-exact."""
+        telemetry = Recorder()
+        result = run_tier(
+            partitions,
+            workers=2,  # 6 frames each: the 4th triggers a snapshot
+            policy=FaultPolicy.retry(backoff=0.01, max_attempts=5),
+            fault_plan=FaultPlan(
+                [
+                    FaultSpec("comm", "crash", at_call=4, target=1),
+                    FaultSpec("network", "truncate", at_call=3, target=1,
+                              op="frame"),
+                ],
+                seed=SEED,
+            ),
+            telemetry=telemetry,
+        )
+        assert np.array_equal(result, baseline)
+        snap = telemetry.snapshot()["counters"]
+        assert snap.get("elastic.snapshots_corrupt", 0) >= 1
+
+    def test_snapshots_disabled_replays_from_start(self, partitions, baseline):
+        result = run_tier(
+            partitions,
+            policy=FaultPolicy.retry(backoff=0.01, max_attempts=5),
+            fault_plan=FaultPlan(
+                [FaultSpec("comm", "crash", at_call=3, target=1)], seed=SEED
+            ),
+            snapshot_every=0,
+        )
+        assert np.array_equal(result, baseline)
+
+
+class TestBackpressure:
+    def test_credit_window_bounds_inflight(self, partitions, baseline):
+        """credits=1 serializes every frame: slowest possible, still
+        exact, and the credit wait shows up in telemetry."""
+        telemetry = Recorder()
+        result = run_tier(partitions, workers=1, credits=1,
+                          telemetry=telemetry)
+        assert np.array_equal(result, baseline)
+        timers = telemetry.snapshot()["timers"]
+        assert "elastic.credit_wait_seconds" in timers
+
+    def test_rejects_nonpositive_credits(self):
+        with pytest.raises(ValueError):
+            ElasticTier(factory, 1, credits=0)
