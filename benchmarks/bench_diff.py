@@ -47,6 +47,11 @@ METRICS: dict[str, tuple[str, ...]] = {
     "BENCH_chaos.json": (
         "overhead.overhead_ratio",
     ),
+    "BENCH_service.json": (
+        "summary.fairness_index",
+        "summary.shared_hit_rate",
+        "summary.bit_exact_fraction",
+    ),
 }
 
 DEFAULT_THRESHOLD = 0.25

@@ -544,6 +544,24 @@ class Scheduler:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def use_telemetry(self, recorder: Recorder) -> None:
+        """Rebind this scheduler's telemetry to ``recorder``.
+
+        The multi-tenant service hands each job a scoped child recorder
+        (:meth:`repro.telemetry.Recorder.scoped`) so concurrent jobs
+        sharing one root recorder cannot collide on ``run.*`` names.
+        Must be called before the execution engine exists — the engine
+        captures the recorder at creation, and a half-rebound scheduler
+        would split its counters across two sinks.
+        """
+        if self._engine is not None:
+            raise RuntimeError(
+                "use_telemetry() after the engine was created; close() "
+                "the scheduler first so the engine rebinds too"
+            )
+        self.telemetry = recorder
+        self.stats = RunStats(recorder)
+
     def telemetry_snapshot(self) -> dict:
         """One structured snapshot of every runtime statistic.
 

@@ -13,9 +13,17 @@ def main(argv: list[str] | None = None) -> int:
         from .conform import main as conform_main
 
         return conform_main(args[1:])
+    if args and args[0] == "service" and len(args) > 1:
+        # Bare ``service`` runs via the figure registry; any extra
+        # arguments route through the harness's own CLI (gates, tiers).
+        from .service import main as service_main
+
+        return service_main(args[1:])
     if not args or args[0] in ("-h", "--help"):
         print("usage: python -m repro.harness <figure> [figure ...] | all")
         print("       python -m repro.harness conform [--smoke|--full] ...")
+        print("       python -m repro.harness service [--quick] "
+              "[--tenants N] [--min-fairness F] ...")
         print("\navailable figures:")
         for name, (_, description) in FIGURES.items():
             print(f"  {name:7s} {description}")

@@ -4,7 +4,19 @@ from __future__ import annotations
 
 from typing import Callable
 
-from . import chaos, fig01, fig05, fig06, fig07, fig08, fig09, fig10, fig11, intransit
+from . import (
+    chaos,
+    fig01,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    intransit,
+    service,
+)
 
 FIGURES: dict[str, tuple[Callable[[], dict], str]] = {
     "fig1": (fig01.run, "in-situ vs offline k-means on Heat3D (measured, real I/O)"),
@@ -17,6 +29,7 @@ FIGURES: dict[str, tuple[Callable[[], dict], str]] = {
     "fig11": (fig11.run, "early emission of reduction objects (measured + modeled)"),
     "chaos": (chaos.run, "seeded fault injection: retry bit-exactness, degrade, checkpoint fallback"),
     "intransit": (intransit.run, "elastic in-transit tier over TCP: staging kill/hang recovery, scaling, wire overhead"),
+    "service": (service.run, "multi-tenant job service: throughput/fairness/shared residency vs tenant count"),
 }
 
 

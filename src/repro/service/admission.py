@@ -1,0 +1,107 @@
+"""Admission control: bounded queue, per-tenant quotas, engine budgets.
+
+Every submission passes three gates, cheapest first:
+
+1. **Service queue bound** — the master's total queued-job count may not
+   exceed ``max_queue_depth`` (:class:`~repro.service.QueueFullError`).
+2. **Per-tenant queue quota** — a tenant may hold at most
+   ``TenantQuota.max_queued`` undis­patched jobs
+   (:class:`~repro.service.QuotaExceededError`).
+3. **Engine-seconds budget** — the tenant's accumulated measured
+   execution time must be below ``TenantQuota.max_engine_seconds``
+   (:class:`~repro.service.BudgetExhaustedError`).
+
+Rejections raise structured :class:`~repro.service.AdmissionError`
+subclasses carrying (tenant, kind, limit, current) and are tallied as
+``service.tenant.<id>.rejected.<kind>`` counters so the fairness
+harness can report rejection mixes per tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .spec import (
+    BudgetExhaustedError,
+    JobSpec,
+    QueueFullError,
+    QuotaExceededError,
+    TenantQuota,
+)
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Tracks queue depth and per-tenant usage; gates submissions."""
+
+    def __init__(self, max_queue_depth: int = 64,
+                 default_quota: TenantQuota | None = None):
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.max_queue_depth = max_queue_depth
+        self.default_quota = default_quota or TenantQuota()
+        self._lock = threading.Lock()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._queued: dict[str, int] = {}
+        self._engine_seconds: dict[str, float] = {}
+        self._total_queued = 0
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        with self._lock:
+            self._quotas[tenant] = quota
+
+    def quota(self, tenant: str) -> TenantQuota:
+        with self._lock:
+            return self._quotas.get(tenant, self.default_quota)
+
+    def engine_seconds(self, tenant: str) -> float:
+        with self._lock:
+            return self._engine_seconds.get(tenant, 0.0)
+
+    def queued(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is None:
+                return self._total_queued
+            return self._queued.get(tenant, 0)
+
+    # -- the admission decision ---------------------------------------
+    def admit(self, spec: JobSpec) -> None:
+        """Gate one submission; raises an AdmissionError or reserves a
+        queue slot for the tenant (released by :meth:`on_dispatch`)."""
+        tenant = spec.tenant
+        with self._lock:
+            quota = self._quotas.get(tenant, self.default_quota)
+            if self._total_queued >= self.max_queue_depth:
+                raise QueueFullError(
+                    tenant, self.max_queue_depth, self._total_queued,
+                    f"service queue is full ({self._total_queued}/"
+                    f"{self.max_queue_depth} jobs queued)")
+            queued = self._queued.get(tenant, 0)
+            if queued >= quota.max_queued:
+                raise QuotaExceededError(
+                    tenant, quota.max_queued, queued,
+                    f"tenant {tenant!r} already has {queued} jobs queued "
+                    f"(quota {quota.max_queued})")
+            spent = self._engine_seconds.get(tenant, 0.0)
+            if spent >= quota.max_engine_seconds:
+                raise BudgetExhaustedError(
+                    tenant, quota.max_engine_seconds, spent,
+                    f"tenant {tenant!r} spent {spent:.3f}s of its "
+                    f"{quota.max_engine_seconds:.3f}s engine budget")
+            self._queued[tenant] = queued + 1
+            self._total_queued += 1
+
+    # -- usage accounting ---------------------------------------------
+    def on_dispatch(self, tenant: str) -> None:
+        """A queued job left the queue for a worker."""
+        with self._lock:
+            self._queued[tenant] = max(0, self._queued.get(tenant, 0) - 1)
+            self._total_queued = max(0, self._total_queued - 1)
+
+    def on_complete(self, tenant: str, engine_seconds: float) -> None:
+        """Charge measured execution time against the tenant's budget."""
+        with self._lock:
+            self._engine_seconds[tenant] = (
+                self._engine_seconds.get(tenant, 0.0) + float(engine_seconds))

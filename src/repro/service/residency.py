@@ -1,0 +1,268 @@
+"""Refcounted shared-read residency for sim steps.
+
+The in-situ contract is that a sim step is written once and read by
+many analytics jobs.  :class:`SharedStepStore` makes that sharing
+explicit at the service layer: the first :meth:`register` of a step
+copies it once into a :class:`multiprocessing.shared_memory` segment,
+and every job that names the step :meth:`attach`\\ es a read-only numpy
+view over the *same* segment — N concurrent readers, one resident copy,
+so dispatch bytes stay flat as tenants grow.
+
+Lifetime is refcounted.  :meth:`release` (or the :class:`StepLease`
+context manager) drops a reader; :meth:`retire` marks a step evictable,
+but the segment is only closed and unlinked once the last reader has
+released — eviction can never fire under a live reader.  Readers that
+die without releasing (a crashed client process) are reclaimed by
+:meth:`reap_dead_readers`, which probes each lease's owner pid with
+``os.kill(pid, 0)`` — the same liveness test the PR 3 pool supervisor
+uses on its workers — and releases leases whose owner is gone.
+
+Telemetry lands in the ``engine.residency.shared_*`` namespace next to
+the process engine's per-run residency counters:
+
+* ``engine.residency.shared_copies`` / ``shared_copied_bytes`` — one
+  per registered step (the single upload).
+* ``engine.residency.shared_attaches`` / ``shared_bytes_saved`` — one
+  per reader that did *not* need its own copy.
+* ``engine.residency.shared_evict_deferred`` — retire() under readers.
+* ``engine.residency.shared_reaped`` — leases reclaimed from dead pids.
+* gauges ``engine.residency.shared_segments`` / ``shared_readers`` /
+  ``shared_resident_bytes`` — live state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..telemetry import Recorder
+
+__all__ = ["SharedStepStore", "StepLease"]
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is ``pid`` still running?  (Signal-0 probe, as in the PR 3
+    supervisor: ``EPERM`` means alive-but-foreign, only ``ESRCH`` means
+    gone.)"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign-uid pid
+        return True
+    return True
+
+
+@dataclass
+class _Step:
+    shm: shared_memory.SharedMemory
+    shape: tuple
+    dtype: np.dtype
+    nbytes: int
+    #: lease id -> owner pid
+    readers: dict[int, int] = field(default_factory=dict)
+    retired: bool = False
+
+
+class StepLease:
+    """One reader's refcounted handle on a resident step.
+
+    ``lease.data`` is a zero-copy **read-only** view over the shared
+    segment; it must not be used after :meth:`release`.  Usable as a
+    context manager (releases on exit).
+    """
+
+    def __init__(self, store: "SharedStepStore", step_id: str,
+                 lease_id: int, data: np.ndarray, owner_pid: int):
+        self._store = store
+        self.step_id = step_id
+        self.lease_id = lease_id
+        self.data = data
+        self.owner_pid = owner_pid
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self.data = None
+        self._store._release(self.step_id, self.lease_id)
+
+    def __enter__(self) -> "StepLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class SharedStepStore:
+    """Refcounted shared-memory segments, one per registered sim step."""
+
+    def __init__(self, telemetry: Recorder | None = None):
+        self._lock = threading.Lock()
+        self._steps: dict[str, _Step] = {}
+        self._next_lease = 0
+        self.telemetry = telemetry if telemetry is not None else Recorder()
+
+    # -- registration --------------------------------------------------
+    def register(self, step_id: str, data: np.ndarray) -> None:
+        """Publish ``data`` as resident step ``step_id`` (one copy).
+
+        Idempotent registration of a different array under a taken id is
+        an error — a step is immutable once published.
+        """
+        data = np.ascontiguousarray(data)
+        with self._lock:
+            if step_id in self._steps:
+                raise ValueError(f"step {step_id!r} is already resident")
+            shm = shared_memory.SharedMemory(create=True, size=max(1, data.nbytes))
+            np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)[...] = data
+            self._steps[step_id] = _Step(
+                shm=shm, shape=data.shape, dtype=data.dtype, nbytes=data.nbytes)
+            self.telemetry.inc("engine.residency.shared_copies")
+            self.telemetry.inc("engine.residency.shared_copied_bytes", data.nbytes)
+            self._update_gauges_locked()
+
+    # -- leases --------------------------------------------------------
+    def attach(self, step_id: str, owner_pid: int | None = None) -> StepLease:
+        """Take a refcounted read-only view of a resident step.
+
+        ``owner_pid`` names the process the lease belongs to (defaults
+        to the caller); :meth:`reap_dead_readers` releases leases whose
+        owner has died.
+        """
+        with self._lock:
+            step = self._steps.get(step_id)
+            if step is None:
+                raise KeyError(f"step {step_id!r} is not resident")
+            if step.retired:
+                # Deferred eviction: the step accepts no new readers.
+                raise KeyError(f"step {step_id!r} is retired")
+            lease_id = self._next_lease
+            self._next_lease += 1
+            step.readers[lease_id] = os.getpid() if owner_pid is None else owner_pid
+            view = np.ndarray(step.shape, dtype=step.dtype, buffer=step.shm.buf)
+            view.flags.writeable = False
+            self.telemetry.inc("engine.residency.shared_attaches")
+            self.telemetry.inc("engine.residency.shared_bytes_saved", step.nbytes)
+            self._update_gauges_locked()
+            return StepLease(self, step_id, lease_id, view,
+                             step.readers[lease_id])
+
+    def _release(self, step_id: str, lease_id: int) -> None:
+        with self._lock:
+            step = self._steps.get(step_id)
+            if step is None:
+                return
+            step.readers.pop(lease_id, None)
+            if step.retired and not step.readers:
+                self._evict_locked(step_id)
+            self._update_gauges_locked()
+
+    # -- eviction ------------------------------------------------------
+    def retire(self, step_id: str) -> bool:
+        """Mark a step evictable; evict now iff no reader holds a ref.
+
+        Returns True if the segment was freed, False if eviction was
+        deferred behind live readers (it will fire on the last release).
+        """
+        with self._lock:
+            step = self._steps.get(step_id)
+            if step is None:
+                return True
+            step.retired = True
+            if step.readers:
+                self.telemetry.inc("engine.residency.shared_evict_deferred")
+                return False
+            self._evict_locked(step_id)
+            self._update_gauges_locked()
+            return True
+
+    def _evict_locked(self, step_id: str) -> None:
+        step = self._steps.pop(step_id)
+        assert not step.readers, "eviction under a live reader"
+        try:
+            step.shm.close()
+        except BufferError:  # pragma: no cover - stale view still mapped
+            pass
+        try:
+            step.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    # -- crash recovery ------------------------------------------------
+    def reap_dead_readers(self) -> int:
+        """Release every lease whose owner pid has died; return count.
+
+        The service's dispatch loop calls this opportunistically so a
+        reader that crashed mid-job cannot pin a retired step forever.
+        """
+        reaped = 0
+        with self._lock:
+            for step_id in list(self._steps):
+                step = self._steps[step_id]
+                dead = [lid for lid, pid in step.readers.items()
+                        if not _pid_alive(pid)]
+                for lid in dead:
+                    del step.readers[lid]
+                    reaped += 1
+                if dead and step.retired and not step.readers:
+                    self._evict_locked(step_id)
+            if reaped:
+                self.telemetry.inc("engine.residency.shared_reaped", reaped)
+            self._update_gauges_locked()
+        return reaped
+
+    # -- introspection -------------------------------------------------
+    def elements(self, step_id: str) -> int:
+        """Element count of a resident step (no lease, no counters)."""
+        with self._lock:
+            step = self._steps.get(step_id)
+            if step is None:
+                raise KeyError(f"step {step_id!r} is not resident")
+            return int(np.prod(step.shape, dtype=np.int64))
+
+    def readers(self, step_id: str) -> int:
+        with self._lock:
+            step = self._steps.get(step_id)
+            return len(step.readers) if step else 0
+
+    def resident_steps(self) -> list[str]:
+        with self._lock:
+            return list(self._steps)
+
+    def hit_rate(self) -> float:
+        """Fraction of reads served by an existing resident copy."""
+        hits = self.telemetry.counter("engine.residency.shared_attaches")
+        copies = self.telemetry.counter("engine.residency.shared_copies")
+        total = hits + copies
+        return hits / total if total else 0.0
+
+    def _update_gauges_locked(self) -> None:
+        self.telemetry.set_gauge(
+            "engine.residency.shared_segments", len(self._steps))
+        self.telemetry.set_gauge(
+            "engine.residency.shared_readers",
+            sum(len(s.readers) for s in self._steps.values()))
+        self.telemetry.set_gauge(
+            "engine.residency.shared_resident_bytes",
+            sum(s.nbytes for s in self._steps.values()))
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Force-free every segment (shutdown path; ignores refcounts)."""
+        with self._lock:
+            for step_id in list(self._steps):
+                self._steps[step_id].readers.clear()
+                self._evict_locked(step_id)
+            self._update_gauges_locked()
+
+    def __enter__(self) -> "SharedStepStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

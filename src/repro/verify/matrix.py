@@ -56,7 +56,7 @@ STRUCTURE_AXES = (
 # ``map_path=batch``.
 TRANSPARENT_AXES = (
     "engine", "wire_format", "combine_algorithm", "residency", "fault",
-    "driver", "map_path", "comm",
+    "driver", "map_path", "comm", "sharing",
 )
 
 _ORACLE_VALUES = {
@@ -71,6 +71,7 @@ _ORACLE_VALUES = {
     # False, which it always is for a forced map_path — see is_valid).
     "map_path": "auto",
     "comm": "inproc",
+    "sharing": "solo",
 }
 
 # Short keys used in fingerprints / --config tokens.
@@ -84,6 +85,7 @@ _SHORT = {
     "driver": "driver",
     "map_path": "map",
     "comm": "comm",
+    "sharing": "sharing",
     "num_threads": "threads",
     "block_size": "block",
     "vectorized": "vec",
@@ -109,6 +111,12 @@ class Config:
     driver: str = "direct"
     map_path: str = "auto"
     comm: str = "inproc"
+    #: ``solo`` runs the workload alone; ``shared`` submits it as N
+    #: concurrent tenant jobs over one resident step through
+    #: :class:`repro.service.AnalyticsService` and compares the first
+    #: job's result (after asserting all N agree and exactly one shm
+    #: segment was resident) against the solo oracle.
+    sharing: str = "solo"
     num_threads: int = 1
     block_size: int = 0  # 0 = whole partition in one block
     vectorized: bool = False
@@ -209,6 +217,11 @@ class Config:
                 f"comm must be one of {axis_values()['comm']}, "
                 f"got {self.comm!r}"
             )
+        if self.sharing not in axis_values()["sharing"]:
+            raise ValueError(
+                f"sharing must be one of {axis_values()['sharing']}, "
+                f"got {self.sharing!r}"
+            )
 
     @property
     def is_oracle(self) -> bool:
@@ -234,6 +247,9 @@ def axis_values(smoke: bool = True) -> dict[str, tuple]:
         # transparent: pickled frames must reproduce the in-process
         # result bit-exactly.
         "comm": ("inproc", "tcp"),
+        # Multi-tenant shared-read residency: N concurrent service jobs
+        # over one resident step must reproduce the solo run bit-exactly.
+        "sharing": ("solo", "shared"),
         # "vector" is deliberately absent: forcing the vector path is
         # covered by the (structural) ``vectorized`` axis, and the full
         # matrix's explicit "scalar" only documents that forcing the
@@ -284,6 +300,16 @@ def is_valid(config: Config, smoke: bool = True) -> bool:
         # router sockets) and not with the step-pipelined driver (which
         # is single-rank in-process by construction).
         if config.engine == "process" or config.driver != "direct":
+            return False
+    if config.sharing == "shared":
+        # The service front-end is single-rank, direct-driver, in-proc
+        # by construction (jobs are dispatched onto local engines); the
+        # fault axes have their own dedicated configs.
+        if (config.ranks != 1 or config.driver != "direct"
+                or config.comm != "inproc" or config.fault != "none"):
+            return False
+        if smoke and config.engine == "process":
+            # N concurrent process pools are too heavy for smoke runs.
             return False
     if smoke and config.ranks > 1 and config.engine == "process":
         # Process pools per simulated rank are heavyweight; the full
@@ -393,6 +419,25 @@ def build_matrix(
             if is_valid(cfg, smoke=smoke) and cfg not in seen:
                 seen.add(cfg)
                 chosen.append(cfg)
+        # The smoke gate also requires >= 2 sharing=shared configs among
+        # the first min_configs, so every smoke invocation exercises the
+        # multi-tenant shared-residency path against the solo oracle.
+        # (Runs before the tcp promotion below: both front-insert, and
+        # 2 + 2 promoted configs stay well inside min_configs.)
+        head_shared = [c for c in chosen[:min_configs]
+                       if c.sharing == "shared"]
+        if len(head_shared) < 2:
+            for engine, threads in (("serial", 1), ("thread", 3)):
+                if len(head_shared) >= 2:
+                    break
+                pad = Config(workload=names[0], sharing="shared",
+                             engine=engine, num_threads=threads, seed=seed)
+                if not is_valid(pad, smoke=smoke):
+                    continue
+                if pad in chosen:
+                    chosen.remove(pad)
+                chosen.insert(0, pad)
+                head_shared.append(pad)
         # The smoke gate requires >= 2 comm=tcp configs among the first
         # min_configs, so every smoke invocation exercises the wire
         # path.  Promote-or-pad deterministically at the front (front

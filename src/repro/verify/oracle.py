@@ -235,6 +235,12 @@ def execute(
     if comm_plan is None:
         comm_plan = default_comm_plan
     args = _exec_policy(w, config, data, fault_policy)
+    if getattr(config, "sharing", "solo") == "shared":
+        # Multi-tenant shared-residency execution; the import is lazy so
+        # the verify package never depends on the service layer unless
+        # the axis is actually exercised.
+        from .service_check import execute_shared
+        return execute_shared(w, config, args, data)
     comm_backend = getattr(config, "comm", "inproc")
     if config.ranks == 1 and comm_backend == "inproc":
         return _execute_single(w, config, args, data, engine_plan,

@@ -1,0 +1,101 @@
+"""Service-level conformance: shared-residency runs vs the solo oracle.
+
+The ``sharing=shared`` axis executes a config *through the multi-tenant
+service*: :data:`SHARED_TENANTS` tenants submit the identical job
+(workload × policy) against one registered sim step, concurrently, over
+a shared worker pool.  The transparency claim under test is threefold:
+
+1. every tenant's job reproduces the others bit-exactly (mutual
+   agreement — concurrency and seat reuse are invisible);
+2. exactly one shm segment was resident no matter how many tenants
+   read the step (checked via the ``engine.residency.shared_*``
+   gauges/counters);
+3. the agreed result reproduces the solo oracle bit-exactly (checked by
+   the ordinary :func:`repro.verify.oracle.diff_results` machinery on
+   the returned :class:`~repro.verify.oracle.RunInfo`).
+
+Any violation of (1) or (2) raises :class:`ConformanceError`, which the
+matrix runner reports as a structured ``error`` mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ExecutionPolicy
+from ..service import AnalyticsService, JobSpec
+from .matrix import Config
+from .oracle import ConformanceError, RunInfo, _arrays_equal, _finish
+from .workloads import Workload
+
+__all__ = ["SHARED_TENANTS", "execute_shared"]
+
+SHARED_TENANTS = 3
+SHARED_WORKERS = 2
+DRAIN_TIMEOUT = 120.0
+_STEP_ID = "conform-step"
+
+
+def execute_shared(workload: Workload, config: Config,
+                   args: ExecutionPolicy, data: np.ndarray) -> RunInfo:
+    """Run one config as N concurrent tenant jobs over one shared step.
+
+    Returns the agreed result as a :class:`RunInfo` shaped exactly like
+    a solo execution's, so the caller diffs it against the solo oracle
+    with the same machinery as every other transparent axis.
+    """
+    service = AnalyticsService(workers=SHARED_WORKERS)
+    service.register_step(_STEP_ID, data)
+    try:
+        with service:
+            handles = [
+                service.submit(JobSpec(
+                    tenant=f"t{i}", workload=workload.name, step=_STEP_ID,
+                    policy=args))
+                for i in range(SHARED_TENANTS)
+            ]
+            if not service.drain(timeout=DRAIN_TIMEOUT):
+                raise ConformanceError(
+                    f"shared run deadlocked: {SHARED_TENANTS} tenant jobs "
+                    f"did not drain within {DRAIN_TIMEOUT}s")
+            segments = service.telemetry.gauge(
+                "engine.residency.shared_segments")
+            copies = service.telemetry.counter(
+                "engine.residency.shared_copies")
+            if segments != 1 or copies != 1:
+                raise ConformanceError(
+                    "shared-residency violation: expected exactly one "
+                    f"resident segment for {SHARED_TENANTS} tenants, saw "
+                    f"{segments:g} segments from {copies} copies")
+            attaches = service.telemetry.counter(
+                "engine.residency.shared_attaches")
+            if attaches < SHARED_TENANTS:
+                raise ConformanceError(
+                    f"expected >= {SHARED_TENANTS} shared attaches "
+                    f"(one per tenant job), saw {attaches}")
+            results = [dict(h.result()) for h in handles]
+            counters = [dict(h.counters) for h in handles]
+    finally:
+        service.close()
+    base = results[0]
+    for tenant, other in enumerate(results[1:], start=1):
+        if set(other) != set(base):
+            raise ConformanceError(
+                f"tenant divergence: tenant {tenant} extracted fields "
+                f"{sorted(other)} vs tenant 0 {sorted(base)}")
+        for name in base:
+            if not _arrays_equal(np.asarray(base[name]),
+                                 np.asarray(other[name])):
+                raise ConformanceError(
+                    f"tenant divergence on field {name!r}: tenant "
+                    f"{tenant} disagrees with tenant 0 under shared "
+                    "residency")
+    run_counters = {n: v for n, v in counters[0].items()
+                    if n.startswith("run.")}
+    for tenant, other in enumerate(counters[1:], start=1):
+        other_run = {n: v for n, v in other.items() if n.startswith("run.")}
+        if other_run != run_counters:
+            raise ConformanceError(
+                f"tenant divergence: tenant {tenant} run.* counters "
+                f"{other_run} vs tenant 0 {run_counters}")
+    return _finish(workload, config, dict(base), counters[0], None)

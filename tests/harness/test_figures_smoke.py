@@ -14,7 +14,7 @@ class TestRegistry:
     def test_all_harnesses_registered(self):
         assert set(FIGURES) == {
             "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "chaos", "intransit",
+            "chaos", "intransit", "service",
         }
 
     def test_unknown_figure_rejected(self):

@@ -1,0 +1,44 @@
+"""The service stress harness runs end to end and its gates hold."""
+
+import json
+
+import pytest
+
+from repro.harness import service
+
+
+class TestServiceHarness:
+    def test_quick_run_end_to_end(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(service, "RESULT_PATH",
+                            tmp_path / "BENCH_service.json")
+        results = service.run(quick=True, max_tenants=4)
+
+        assert results["gates"]["ok"]
+        assert results["gates"]["fairness_ok"]
+        assert results["gates"]["bit_exact_ok"]
+        assert results["gates"]["single_segment_ok"]
+        # Restated from the gate so a silent harness edit cannot drop it:
+        # every job in every tier was bit-exact vs its solo oracle, and
+        # exactly one segment was resident per tier.
+        assert results["summary"]["bit_exact_fraction"] == 1.0
+        for tier in results["tiers"]:
+            assert tier["shared_segments"] == 1
+            assert tier["bit_exact_jobs"] == tier["jobs"]
+        # The largest tier hits the fairness and sharing claims.
+        top = results["tiers"][-1]
+        assert top["tenants"] == 4
+        assert top["fairness_index"] >= 0.8
+        # Sharing pays off as tenants grow: more readers per copied step.
+        assert top["shared_hit_rate"] >= results["tiers"][0]["shared_hit_rate"]
+
+        report = json.loads((tmp_path / "BENCH_service.json").read_text())
+        assert report["summary"]["fairness_index"] == pytest.approx(
+            results["summary"]["fairness_index"])
+        assert report["gates"]["ok"]
+
+    def test_fairness_index_extremes(self):
+        assert service.fairness_index([]) == 1.0
+        assert service.fairness_index([1.0, 1.0, 1.0, 1.0]) == 1.0
+        # One tenant hogging everything: index -> 1/n.
+        assert service.fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(
+            0.25)

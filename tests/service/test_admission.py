@@ -1,0 +1,221 @@
+"""Admission control, structured rejections, DRR order, tenant telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AnalyticsService,
+    BudgetExhaustedError,
+    DeficitRoundRobin,
+    JobHandle,
+    JobSpec,
+    QueueFullError,
+    QuotaExceededError,
+    TenantQuota,
+)
+
+
+def _step(elements=64, seed=0):
+    return np.random.default_rng(seed).normal(size=elements)
+
+
+def _service(**kwargs):
+    svc = AnalyticsService(workers=1, **kwargs)
+    svc.register_step("s", _step())
+    return svc
+
+
+def _spec(tenant="a", workload="histogram", **kw):
+    return JobSpec(tenant=tenant, workload=workload, step="s", **kw)
+
+
+class TestJobSpec:
+    def test_tenant_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            JobSpec(tenant="", workload="histogram", step="s")
+
+    def test_tenant_must_not_contain_dots(self):
+        # Tenant ids become telemetry namespace segments.
+        with pytest.raises(ValueError, match="'\\.'"):
+            JobSpec(tenant="a.b", workload="histogram", step="s")
+
+
+class TestAdmission:
+    def test_unknown_step_rejected_at_submit(self):
+        svc = _service()
+        try:
+            with pytest.raises(KeyError, match="not resident"):
+                svc.submit(JobSpec(tenant="a", workload="histogram",
+                                   step="nope"))
+        finally:
+            svc.close()
+
+    def test_unknown_workload_rejected_at_submit(self):
+        svc = _service()
+        try:
+            with pytest.raises(KeyError):
+                svc.submit(_spec(workload="not-a-workload"))
+        finally:
+            svc.close()
+
+    def test_tenant_queue_quota_is_structured(self):
+        svc = _service(default_quota=TenantQuota(max_queued=2))
+        try:
+            svc.submit(_spec())
+            svc.submit(_spec())
+            with pytest.raises(QuotaExceededError) as err:
+                svc.submit(_spec())
+            assert err.value.tenant == "a"
+            assert err.value.kind == "tenant-quota"
+            assert err.value.limit == 2
+            assert err.value.current == 2
+            record = err.value.to_dict()
+            assert record["error"] == "QuotaExceededError"
+            assert record["kind"] == "tenant-quota"
+            # Another tenant is unaffected by a's quota.
+            svc.submit(_spec(tenant="b"))
+        finally:
+            svc.close()
+
+    def test_service_queue_bound_is_structured(self):
+        svc = _service(max_queue_depth=3,
+                       default_quota=TenantQuota(max_queued=10))
+        try:
+            for tenant in ("a", "b", "c"):
+                svc.submit(_spec(tenant=tenant))
+            with pytest.raises(QueueFullError) as err:
+                svc.submit(_spec(tenant="d"))
+            assert err.value.kind == "queue-full"
+            assert err.value.limit == 3
+        finally:
+            svc.close()
+
+    def test_engine_budget_exhaustion(self):
+        svc = _service(
+            default_quota=TenantQuota(max_engine_seconds=1e-9))
+        try:
+            handle = svc.submit(_spec())
+            svc.start()
+            assert handle.result(timeout=30)
+            # The first job consumed (far) more than the budget.
+            with pytest.raises(BudgetExhaustedError) as err:
+                svc.submit(_spec())
+            assert err.value.kind == "budget-exhausted"
+            assert err.value.current > err.value.limit
+        finally:
+            svc.close()
+
+    def test_rejections_counted_per_tenant(self):
+        svc = _service(default_quota=TenantQuota(max_queued=1))
+        try:
+            svc.submit(_spec())
+            for _ in range(3):
+                with pytest.raises(QuotaExceededError):
+                    svc.submit(_spec())
+            scope = svc.tenant_scope("a")
+            assert scope.counter("rejected.tenant-quota") == 3
+            assert scope.counter("submitted") == 1
+            assert svc.telemetry.counter("service.rejected") == 3
+        finally:
+            svc.close()
+
+    def test_dispatch_frees_quota_slot(self):
+        svc = _service(default_quota=TenantQuota(max_queued=1))
+        try:
+            h = svc.submit(_spec())
+            svc.start()
+            assert h.wait(timeout=30)
+            # The slot was released at dispatch; a new submission fits.
+            svc.submit(_spec())
+        finally:
+            svc.close()
+
+
+class TestTenantTelemetry:
+    def test_per_tenant_namespaces_do_not_collide(self):
+        svc = _service()
+        try:
+            svc.start()
+            ha = svc.submit(_spec(tenant="t1"))
+            hb = svc.submit(_spec(tenant="t11"))
+            assert ha.wait(timeout=30) and hb.wait(timeout=30)
+            svc.drain(timeout=30)
+            # Sibling prefixes (t1 vs t11): the scoped namespaces must
+            # not bleed into each other.
+            a = svc.tenant_scope("t1").counters()
+            b = svc.tenant_scope("t11").counters()
+            assert a["jobs_completed"] == 1
+            assert b["jobs_completed"] == 1
+            assert a["run.chunks_processed"] == b["run.chunks_processed"]
+            # The tenant aggregate equals the job's own run counters.
+            assert a["run.chunks_processed"] == ha.counters[
+                "run.chunks_processed"]
+        finally:
+            svc.close()
+
+    def test_engine_seconds_timer_recorded(self):
+        svc = _service()
+        try:
+            svc.start()
+            h = svc.submit(_spec(tenant="z"))
+            assert h.wait(timeout=30)
+            timer = svc.telemetry.timer("service.tenant.z.engine_seconds")
+            assert timer.calls == 1
+            assert timer.seconds == pytest.approx(h.engine_seconds)
+        finally:
+            svc.close()
+
+
+def _handle(tenant, job_id=0):
+    return JobHandle(job_id=job_id,
+                     spec=JobSpec(tenant=tenant, workload="histogram",
+                                  step="s"))
+
+
+class TestDeficitRoundRobin:
+    def test_single_tenant_is_fifo(self):
+        drr = DeficitRoundRobin(quantum=10)
+        handles = [_handle("a", i) for i in range(5)]
+        for h in handles:
+            drr.push(h, cost=3)
+        assert [drr.pop(timeout=0).job_id for _ in range(5)] == [
+            h.job_id for h in handles]
+
+    def test_equal_cost_tenants_alternate(self):
+        drr = DeficitRoundRobin(quantum=4)
+        for i in range(3):
+            drr.push(_handle("a", i), cost=4)
+        for i in range(3):
+            drr.push(_handle("b", 10 + i), cost=4)
+        order = [drr.pop(timeout=0).spec.tenant for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_flood_cannot_starve_other_tenant(self):
+        # Tenant a floods 50 unit-cost jobs; b's single job must be
+        # served within one quantum's worth of a's jobs + 1.
+        drr = DeficitRoundRobin(quantum=4)
+        for i in range(50):
+            drr.push(_handle("a", i), cost=1)
+        drr.push(_handle("b", 99), cost=1)
+        order = [drr.pop(timeout=0).spec.tenant for _ in range(10)]
+        assert "b" in order[:5], order
+
+    def test_expensive_job_accumulates_deficit(self):
+        # A job costlier than one quantum still runs after enough
+        # rotations — no job waits forever.
+        drr = DeficitRoundRobin(quantum=2)
+        drr.push(_handle("a", 1), cost=7)
+        drr.push(_handle("b", 2), cost=1)
+        got = [drr.pop(timeout=0).job_id for _ in range(2)]
+        assert sorted(got) == [1, 2]
+
+    def test_pop_timeout_returns_none(self):
+        drr = DeficitRoundRobin()
+        assert drr.pop(timeout=0.01) is None
+
+    def test_close_drains_then_returns_none(self):
+        drr = DeficitRoundRobin()
+        drr.push(_handle("a", 1), cost=1)
+        drr.close()
+        assert drr.pop().job_id == 1
+        assert drr.pop() is None

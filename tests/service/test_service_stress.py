@@ -1,0 +1,181 @@
+"""Service-level concurrency stress: 8 tenants × mixed workloads.
+
+The acceptance contract for the multi-tenant front-end:
+
+* every concurrent job's output (arrays AND ``run.*`` stats) is
+  bit-exact vs a solo run of the same workload on the same data;
+* Jain's fairness index over per-tenant engine-seconds >= 0.8;
+* exactly one shm segment is resident per sim step no matter how many
+  tenants read it;
+* a flood from tenant A cannot stall tenant B's job past a bounded
+  delay (deficit round robin).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.service import fairness_index
+from repro.service import (
+    AnalyticsService,
+    JobSpec,
+    TenantQuota,
+    execute_workload,
+    job_policy,
+)
+from repro.verify.workloads import get_workload
+
+TENANTS = 8
+JOBS_PER_TENANT = 4
+#: Large enough that per-job kernel time dominates scheduling noise —
+#: the fairness index is computed over measured per-tenant seconds.
+ELEMENTS = 4096
+#: chunk_size-1 workloads that share one generic N(0,1) step.
+MIXED = ("histogram", "minmax", "grid_aggregation", "moving_average")
+
+
+def _step(elements=ELEMENTS, seed=42):
+    return np.ascontiguousarray(
+        np.random.default_rng(seed).normal(size=elements))
+
+
+def _solo(workload_name, data):
+    w = get_workload(workload_name)
+    result, counters = execute_workload(w, job_policy(w, None, data), data)
+    return result, {k: v for k, v in counters.items()
+                    if k.startswith("run.")}
+
+
+def _assert_bit_exact(handle, solo):
+    solo_result, solo_run = solo
+    result = handle.result(timeout=60)
+    assert set(result) == set(solo_result), handle.spec
+    for name in solo_result:
+        e, a = np.asarray(solo_result[name]), np.asarray(result[name])
+        assert e.dtype == a.dtype and e.shape == a.shape, (handle.spec, name)
+        equal_nan = bool(np.issubdtype(e.dtype, np.floating))
+        assert np.array_equal(e, a, equal_nan=equal_nan), (handle.spec, name)
+    job_run = {k: v for k, v in handle.counters.items()
+               if k.startswith("run.")}
+    assert job_run == solo_run, handle.spec
+
+
+class TestConcurrencyStress:
+    def test_eight_tenants_mixed_workloads_bit_exact(self):
+        data = _step()
+        solos = {name: _solo(name, data) for name in MIXED}
+        with AnalyticsService(workers=4,
+                              max_queue_depth=TENANTS * JOBS_PER_TENANT,
+                              quantum=float(data.size)) as svc:
+            svc.register_step("s", data)
+            handles = [
+                svc.submit(JobSpec(tenant=f"t{t}",
+                                   workload=MIXED[(t + j) % len(MIXED)],
+                                   step="s"))
+                for j in range(JOBS_PER_TENANT)
+                for t in range(TENANTS)
+            ]
+            assert svc.drain(timeout=120)
+            for h in handles:
+                _assert_bit_exact(h, solos[h.spec.workload])
+
+            # Fairness over measured engine-seconds.
+            seconds = [
+                svc.telemetry.timer(
+                    f"service.tenant.t{t}.engine_seconds").seconds
+                for t in range(TENANTS)]
+            assert all(s > 0 for s in seconds)
+            assert fairness_index(seconds) >= 0.8
+
+            # One shm segment regardless of tenant count.
+            snap = svc.telemetry.snapshot()
+            assert snap["gauges"]["engine.residency.shared_segments"] == 1
+            assert snap["counters"]["engine.residency.shared_copies"] == 1
+            assert snap["counters"]["engine.residency.shared_attaches"] == \
+                len(handles)
+
+            # Every tenant completed its share.
+            for t in range(TENANTS):
+                assert svc.tenant_scope(f"t{t}").counter(
+                    "jobs_completed") == JOBS_PER_TENANT
+
+    def test_two_steps_two_segments(self):
+        # Segments scale with steps, not with tenants or jobs.
+        with AnalyticsService(workers=2) as svc:
+            svc.register_step("s1", _step(seed=1))
+            svc.register_step("s2", _step(seed=2))
+            handles = [
+                svc.submit(JobSpec(tenant=f"t{t}", workload="minmax",
+                                   step=step))
+                for t in range(4) for step in ("s1", "s2")
+            ]
+            assert svc.drain(timeout=60)
+            for h in handles:
+                h.result(timeout=1)
+            snap = svc.telemetry.snapshot()
+            assert snap["gauges"]["engine.residency.shared_segments"] == 2
+            assert snap["counters"]["engine.residency.shared_copies"] == 2
+
+    def test_failed_job_reports_through_handle(self):
+        # moving_median has no out_len short enough... use a policy that
+        # cannot run: thread backend with invalid thread count is caught
+        # at admission by policy validation inside the job, surfacing on
+        # the handle, not crashing the worker.
+        with AnalyticsService(workers=1) as svc:
+            svc.register_step("s", _step())
+            bad = svc.submit(JobSpec(tenant="a", workload="histogram",
+                                     step="s", policy="engine=bogus"))
+            good = svc.submit(JobSpec(tenant="a", workload="histogram",
+                                      step="s"))
+            with pytest.raises(ValueError):
+                bad.result(timeout=30)
+            assert bad.status == "failed"
+            assert good.result(timeout=30)
+            assert svc.tenant_scope("a").counter("jobs_failed") == 1
+            assert svc.tenant_scope("a").counter("jobs_completed") == 1
+
+
+class TestStarvation:
+    def test_flood_cannot_stall_other_tenant(self):
+        """Tenant A floods 40 jobs; B's single job must dispatch within
+        one DRR rotation (quantum == one job's cost => index <= 2)."""
+        data = _step(elements=256)
+        svc = AnalyticsService(workers=1,
+                               max_queue_depth=64,
+                               default_quota=TenantQuota(max_queued=64),
+                               quantum=float(data.size))
+        svc.register_step("s", data)
+        try:
+            flood = [svc.submit(JobSpec(tenant="a", workload="minmax",
+                                        step="s"))
+                     for _ in range(40)]
+            victim = svc.submit(JobSpec(tenant="b", workload="minmax",
+                                        step="s"))
+            # Workers start only now, so dispatch order is purely DRR.
+            svc.start()
+            assert svc.drain(timeout=120)
+            assert victim.dispatch_index <= 2, (
+                f"tenant b dispatched {victim.dispatch_index}th behind "
+                "a 40-job flood")
+            assert victim.result(timeout=1)
+            for h in flood:
+                assert h.result(timeout=1)
+        finally:
+            svc.close()
+
+    def test_bounded_delay_scales_with_quantum(self):
+        """With quantum = 4 job costs, B waits at most 4 flood jobs."""
+        data = _step(elements=256)
+        svc = AnalyticsService(workers=1, max_queue_depth=64,
+                               default_quota=TenantQuota(max_queued=64),
+                               quantum=4.0 * data.size)
+        svc.register_step("s", data)
+        try:
+            for _ in range(30):
+                svc.submit(JobSpec(tenant="a", workload="minmax", step="s"))
+            victim = svc.submit(JobSpec(tenant="b", workload="minmax",
+                                        step="s"))
+            svc.start()
+            assert svc.drain(timeout=120)
+            assert victim.dispatch_index <= 5
+        finally:
+            svc.close()
